@@ -1,0 +1,167 @@
+// Command amntbench regenerates the paper's evaluation: every figure
+// and table from §6, using the experiment drivers shared with the
+// repository's benchmark harness.
+//
+// Examples:
+//
+//	amntbench -fig 4              # single-program PARSEC comparison
+//	amntbench -table 4            # recovery-time model
+//	amntbench -all -scale 0.25    # everything, quarter-length traces
+//	amntbench -ablation           # design-choice ablation studies
+//	amntbench -fig 6 -csv         # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"amnt/internal/experiments"
+	"amnt/internal/stats"
+)
+
+// slugify turns a table title into a safe file stem.
+func slugify(title string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case b.Len() > 0 && !strings.HasSuffix(b.String(), "-"):
+			b.WriteByte('-')
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 0, "figure to reproduce: 3, 4, 5, 6 (includes 7), 7, 8")
+		table    = flag.Int("table", 0, "table to reproduce: 2, 3, 4")
+		all      = flag.Bool("all", false, "run every figure and table")
+		ablation = flag.Bool("ablation", false, "run the ablation studies")
+		storage  = flag.Bool("storage", false, "run the in-memory storage (YCSB) study")
+		scale    = flag.Float64("scale", 1.0, "trace length multiplier (smaller = faster)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		level    = flag.Int("level", 3, "AMNT subtree level")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		outDir   = flag.String("out", "", "also write each table as a CSV file into this directory")
+		verbose  = flag.Bool("v", false, "log per-run progress to stderr")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Scale: *scale, Seed: *seed, SubtreeLevel: *level}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "amntbench:", err)
+			os.Exit(1)
+		}
+	}
+	emit := func(t *stats.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+		if *outDir != "" {
+			name := slugify(t.Title) + ".csv"
+			if err := os.WriteFile(filepath.Join(*outDir, name), []byte(t.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "amntbench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	run := func(name string, f func(experiments.Options) (*stats.Table, error)) {
+		start := time.Now()
+		t, err := f(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amntbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		emit(t)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "[%s took %v]\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	runPair := func() {
+		start := time.Now()
+		perf, hits, err := experiments.Figures6And7(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amntbench: figures 6+7:", err)
+			os.Exit(1)
+		}
+		emit(perf)
+		emit(hits)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "[figures 6+7 took %v]\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	ran := false
+	if *all || *fig == 3 {
+		run("figure 3", experiments.Figure3)
+		ran = true
+	}
+	if *all || *fig == 4 {
+		run("figure 4", experiments.Figure4)
+		ran = true
+	}
+	if *all || *fig == 5 {
+		run("figure 5", experiments.Figure5)
+		ran = true
+	}
+	if *all || *fig == 6 || *fig == 7 {
+		runPair()
+		ran = true
+	}
+	if *all || *fig == 8 {
+		run("figure 8", experiments.Figure8)
+		ran = true
+	}
+	if *all || *table == 2 {
+		run("table 2", experiments.Table2)
+		ran = true
+	}
+	if *all || *table == 3 {
+		run("table 3", experiments.Table3)
+		ran = true
+	}
+	if *all || *table == 4 {
+		run("table 4", experiments.Table4)
+		run("table 4 (measured)", experiments.Table4Measured)
+		ran = true
+	}
+	if *all || *storage {
+		run("storage", experiments.Storage)
+		ran = true
+	}
+	if *all || *ablation {
+		start := time.Now()
+		tables, err := experiments.Ablations(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amntbench: ablations:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			emit(t)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "[ablations took %v]\n", time.Since(start).Round(time.Millisecond))
+		}
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintln(os.Stderr, "amntbench: nothing selected; use -fig N, -table N, -storage, -ablation, or -all")
+		flag.CommandLine.SetOutput(io.Discard)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

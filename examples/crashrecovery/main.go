@@ -1,0 +1,66 @@
+// crashrecovery: subject every persistence protocol to the same
+// write-heavy workload and the same power failure, then compare what
+// recovery costs — the run-time/recovery-time trade-off at the heart
+// of the paper, measured functionally.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"amnt/internal/recovery"
+	"amnt/internal/sim"
+	"amnt/internal/stats"
+	"amnt/internal/workload"
+)
+
+func main() {
+	spec := workload.Spec{
+		Name: "storage-churn", Suite: "demo", FootprintBytes: 32 << 20,
+		WriteRatio: 0.6, GapMean: 4, Model: workload.Chase, Accesses: 60_000,
+	}
+	model := recovery.DefaultModel()
+	table := stats.NewTable("One workload, one crash, every protocol",
+		"protocol", "run cycles", "recovered?", "counters read", "data read", "nodes rebuilt", "modeled time")
+
+	for _, name := range []string{"volatile", "strict", "leaf", "osiris", "anubis", "bmf", "amnt"} {
+		policy, err := sim.PolicyByName(name, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.MemoryBytes = 64 << 20
+		m := sim.NewMachine(cfg, policy, []workload.Spec{spec})
+		res, err := m.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.Crash()
+		rep, err := m.Controller().Recover(m.Now())
+		recovered := "yes"
+		if err != nil {
+			recovered = "NO: " + firstWords(err.Error(), 4)
+		} else if verr := m.Controller().VerifyAll(m.Now()); verr != nil {
+			recovered = "NO: post-verify failed"
+		}
+		table.AddRow(name, res.Cycles, recovered,
+			rep.CounterReads, rep.DataReads, rep.NodeWrites,
+			model.FromReport(rep).String())
+	}
+	table.AddNote("volatile cannot recover: its dirty metadata died with the power")
+	table.AddNote("strict recovers for free but ran slowest; amnt recovers a bounded slice at near-leaf speed")
+	fmt.Println(table.Render())
+}
+
+func firstWords(s string, n int) string {
+	count := 0
+	for i := range s {
+		if s[i] == ' ' {
+			count++
+			if count == n {
+				return s[:i] + "..."
+			}
+		}
+	}
+	return s
+}

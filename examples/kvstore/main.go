@@ -1,0 +1,156 @@
+// kvstore: a crash-consistent, integrity-protected key-value store on
+// secure SCM — the in-memory storage application the paper's
+// introduction motivates. Each record occupies one 64-byte protected
+// block; the store survives simulated power failures through the AMNT
+// recovery path, and every lookup is authenticated by the Bonsai
+// Merkle Tree.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"amnt/internal/core"
+	"amnt/internal/mee"
+	"amnt/internal/scm"
+)
+
+// KV is a fixed-capacity open-addressing hash table whose buckets are
+// protected SCM blocks. Layout per block:
+//
+//	[0]      key length (0 = empty bucket)
+//	[1..24]  key bytes
+//	[25]     value length
+//	[26..63] value bytes
+type KV struct {
+	ctrl    *mee.Controller
+	buckets uint64
+	now     uint64
+}
+
+const (
+	maxKey   = 24
+	maxValue = 38
+)
+
+// NewKV builds a store over the controller using the first `buckets`
+// data blocks.
+func NewKV(ctrl *mee.Controller, buckets uint64) *KV {
+	return &KV{ctrl: ctrl, buckets: buckets}
+}
+
+func (kv *KV) hash(key string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h % kv.buckets
+}
+
+// Put inserts or updates a record.
+func (kv *KV) Put(key, value string) error {
+	if len(key) == 0 || len(key) > maxKey || len(value) > maxValue {
+		return fmt.Errorf("kv: key/value size out of range")
+	}
+	var blk [scm.BlockSize]byte
+	for probe := uint64(0); probe < kv.buckets; probe++ {
+		b := (kv.hash(key) + probe) % kv.buckets
+		cycles, err := kv.ctrl.ReadBlock(kv.now, b, blk[:])
+		kv.now += cycles
+		if err != nil {
+			return err
+		}
+		existing := string(blk[1 : 1+blk[0]])
+		if blk[0] != 0 && existing != key {
+			continue // occupied by another key
+		}
+		blk[0] = byte(len(key))
+		copy(blk[1:], key)
+		blk[25] = byte(len(value))
+		for i := range blk[26:] {
+			blk[26+i] = 0
+		}
+		copy(blk[26:], value)
+		cycles, err = kv.ctrl.WriteBlock(kv.now, b, blk[:])
+		kv.now += cycles
+		return err
+	}
+	return errors.New("kv: table full")
+}
+
+// Get fetches a record; found is false for absent keys.
+func (kv *KV) Get(key string) (value string, found bool, err error) {
+	var blk [scm.BlockSize]byte
+	for probe := uint64(0); probe < kv.buckets; probe++ {
+		b := (kv.hash(key) + probe) % kv.buckets
+		cycles, err := kv.ctrl.ReadBlock(kv.now, b, blk[:])
+		kv.now += cycles
+		if err != nil {
+			return "", false, err
+		}
+		if blk[0] == 0 {
+			return "", false, nil
+		}
+		if string(blk[1:1+blk[0]]) == key {
+			return string(blk[26 : 26+blk[25]]), true, nil
+		}
+	}
+	return "", false, nil
+}
+
+// Cycles reports the simulated time spent so far.
+func (kv *KV) Cycles() uint64 { return kv.now }
+
+func main() {
+	dev := scm.New(scm.Config{CapacityBytes: 16 << 20})
+	ctrl := mee.New(dev, mee.DefaultConfig(), core.New(core.WithLevel(2)))
+	kv := NewKV(ctrl, 4096)
+
+	// Load a dataset.
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("user:%04d", i)
+		val := fmt.Sprintf("session-%08x", i*2654435761)
+		if err := kv.Put(key, val); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("loaded 500 records in %d simulated cycles\n", kv.Cycles())
+
+	// Power fails mid-operation.
+	ctrl.Crash()
+	rep, err := ctrl.Recover(kv.Cycles())
+	if err != nil {
+		log.Fatal("recovery failed: ", err)
+	}
+	fmt.Printf("power failure: recovered with %.2f%% of the tree stale\n", 100*rep.StaleFraction)
+
+	// Every record survives, authenticated.
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("user:%04d", i)
+		want := fmt.Sprintf("session-%08x", i*2654435761)
+		got, found, err := kv.Get(key)
+		if err != nil {
+			log.Fatalf("get %s: %v", key, err)
+		}
+		if !found || got != want {
+			log.Fatalf("get %s = %q/%v, want %q", key, got, found, want)
+		}
+	}
+	fmt.Println("all 500 records intact and authenticated after the crash")
+
+	// A replay attack against one bucket is caught on lookup.
+	target := kv.hash("user:0007")
+	snap := dev.SnapshotBlock(scm.Data, target)
+	if err := kv.Put("user:0007", "tampered-session-x"); err != nil {
+		log.Fatal(err)
+	}
+	dev.ReplayBlock(scm.Data, target, snap)
+	ctrl.DropCached(mee.CounterKey(target / 64))
+	if _, _, err := kv.Get("user:0007"); err != nil {
+		fmt.Println("replay attack detected:", err)
+	} else {
+		log.Fatal("replayed record was accepted!")
+	}
+}

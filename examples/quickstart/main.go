@@ -1,0 +1,59 @@
+// Quickstart: build a secure SCM controller with the AMNT policy,
+// write and read protected data, survive a power failure, and detect
+// an attack — the five-minute tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"amnt/internal/core"
+	"amnt/internal/mee"
+	"amnt/internal/scm"
+)
+
+func main() {
+	// A 16 MiB SCM device with the paper's Table 1 timing, fronted by
+	// the memory encryption engine running A Midsummer Night's Tree
+	// at subtree level 3.
+	dev := scm.New(scm.Config{CapacityBytes: 16 << 20})
+	amnt := core.New(core.WithLevel(3))
+	ctrl := mee.New(dev, mee.DefaultConfig(), amnt)
+
+	// Write a block. The controller encrypts it with counter-mode
+	// encryption, persists its counter and HMAC, and updates the
+	// Bonsai Merkle Tree under the fast-subtree persistence rules.
+	msg := make([]byte, scm.BlockSize)
+	copy(msg, "storage-class memory, but trustworthy")
+	if _, err := ctrl.WriteBlock(0, 42, msg); err != nil {
+		log.Fatal(err)
+	}
+
+	// Power failure: all volatile state (metadata cache, history
+	// buffer) is gone. The device and the NV registers survive.
+	ctrl.Crash()
+
+	// Recovery rebuilds only the fast subtree and validates it
+	// against the on-chip register.
+	rep, err := ctrl.Recover(0)
+	if err != nil {
+		log.Fatal("recovery failed: ", err)
+	}
+	fmt.Printf("recovered: %.2f%% of the tree was stale, %d counters re-read\n",
+		100*rep.StaleFraction, rep.CounterReads)
+
+	// Data still decrypts and verifies.
+	out := make([]byte, scm.BlockSize)
+	if _, err := ctrl.ReadBlock(0, 42, out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read back: %q\n", string(out[:38]))
+
+	// An attacker with physical access flips one bit of ciphertext.
+	dev.TamperByte(scm.Data, 42, 3, 0x80)
+	if _, err := ctrl.ReadBlock(0, 42, out); err != nil {
+		fmt.Println("tamper detected:", err)
+	} else {
+		log.Fatal("tampering went undetected!")
+	}
+}

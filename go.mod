@@ -1,0 +1,3 @@
+module amnt
+
+go 1.22

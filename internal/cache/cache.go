@@ -1,0 +1,286 @@
+// Package cache implements a generic set-associative, write-back,
+// LRU cache model. The CPU hierarchy (L1/L2/L3) and the 64 kB secure
+// metadata cache are all instances of this one model.
+//
+// The cache tracks presence, dirtiness, and a per-line Aux word (used
+// by BMF for frequency counters), but not contents: the simulator's
+// bytes live in the SCM device and in the memory controller, so the
+// cache is purely an inclusion/timing structure. Keys are opaque
+// uint64s — the metadata cache composes (region, index) pairs, the CPU
+// caches use physical block numbers.
+package cache
+
+import (
+	"fmt"
+
+	"amnt/internal/stats"
+)
+
+// Replacement selects a cache's victim-selection policy.
+type Replacement int
+
+// Replacement policies.
+const (
+	// LRU promotes on hit and evicts the least recently used way.
+	LRU Replacement = iota
+	// FIFO evicts in insertion order, ignoring hits.
+	FIFO
+	// Random evicts a pseudo-random way (deterministic per cache).
+	Random
+)
+
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case Random:
+		return "random"
+	}
+	return fmt.Sprintf("replacement(%d)", int(r))
+}
+
+// Config describes one cache instance.
+type Config struct {
+	// Name labels the cache in stats output (e.g. "L2", "meta").
+	Name string
+	// SizeBytes is the total capacity. Must be a multiple of
+	// LineBytes*Assoc.
+	SizeBytes int
+	// LineBytes is the line size (64 for every cache in the paper).
+	LineBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// HitCycles is the access latency charged on a hit (and added
+	// beneath misses by the hierarchy model).
+	HitCycles uint64
+	// Replacement selects the victim policy (default LRU).
+	Replacement Replacement
+}
+
+// Line is one cache line's metadata.
+type Line struct {
+	Key   uint64
+	Dirty bool
+	// Aux is protocol-private per-line state (e.g. BMF frequency
+	// counters, Anubis slot tags). The cache never interprets it.
+	Aux   uint64
+	valid bool
+}
+
+// Victim describes a line evicted by an allocation.
+type Victim struct {
+	Key   uint64
+	Dirty bool
+	Aux   uint64
+}
+
+// Cache is a set-associative LRU cache. Not safe for concurrent use.
+type Cache struct {
+	cfg     Config
+	sets    [][]Line // each set ordered MRU-first among valid lines
+	numSets uint64
+	ratio   stats.Ratio
+	evicted stats.Counter
+	rng     uint64 // xorshift state for Random replacement
+}
+
+// New builds a cache from cfg. It panics on an invalid geometry, since
+// configurations are static experiment inputs, not runtime data.
+func New(cfg Config) *Cache {
+	if cfg.LineBytes <= 0 || cfg.Assoc <= 0 || cfg.SizeBytes <= 0 {
+		panic(fmt.Sprintf("cache %q: non-positive geometry %+v", cfg.Name, cfg))
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	if lines%cfg.Assoc != 0 || lines == 0 {
+		panic(fmt.Sprintf("cache %q: %d lines not divisible into %d-way sets", cfg.Name, lines, cfg.Assoc))
+	}
+	numSets := lines / cfg.Assoc
+	c := &Cache{cfg: cfg, numSets: uint64(numSets), rng: 0x9E3779B97F4A7C15}
+	c.sets = make([][]Line, numSets)
+	for i := range c.sets {
+		c.sets[i] = make([]Line, 0, cfg.Assoc)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// HitCycles returns the configured hit latency.
+func (c *Cache) HitCycles() uint64 { return c.cfg.HitCycles }
+
+// Lines returns the total line capacity.
+func (c *Cache) Lines() int { return c.cfg.SizeBytes / c.cfg.LineBytes }
+
+func (c *Cache) setOf(key uint64) []Line { return c.sets[key%c.numSets] }
+
+// Access looks up key, allocating it on a miss (read and write
+// allocate). It returns whether the access hit and, if an allocation
+// displaced a line, the victim. write marks the line dirty.
+func (c *Cache) Access(key uint64, write bool) (hit bool, victim *Victim) {
+	si := key % c.numSets
+	set := c.sets[si]
+	for i := range set {
+		if set[i].valid && set[i].Key == key {
+			if write {
+				set[i].Dirty = true
+			}
+			if c.cfg.Replacement == LRU {
+				// Move to MRU position.
+				line := set[i]
+				copy(set[1:i+1], set[:i])
+				set[0] = line
+			}
+			c.ratio.Observe(true)
+			return true, nil
+		}
+	}
+	c.ratio.Observe(false)
+	// Miss: allocate at the head, evicting per policy when full.
+	newLine := Line{Key: key, Dirty: write, valid: true}
+	if len(set) < c.cfg.Assoc {
+		set = append(set, Line{})
+		copy(set[1:], set[:len(set)-1])
+		set[0] = newLine
+		c.sets[si] = set
+		return false, nil
+	}
+	vi := len(set) - 1 // LRU and FIFO evict the oldest (tail)
+	if c.cfg.Replacement == Random {
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		vi = int(c.rng % uint64(len(set)))
+	}
+	v := set[vi]
+	victim = &Victim{Key: v.Key, Dirty: v.Dirty, Aux: v.Aux}
+	c.evicted.Inc()
+	// Remove the victim at vi and insert the new line at the head:
+	// entries before vi shift right one; entries after vi stay put.
+	copy(set[1:vi+1], set[:vi])
+	set[0] = newLine
+	return false, victim
+}
+
+// Probe reports whether key is resident without touching LRU state or
+// hit statistics. The memory controller uses Probe to decide whether a
+// metadata node is already trusted on-chip.
+func (c *Cache) Probe(key uint64) bool {
+	set := c.setOf(key)
+	for i := range set {
+		if set[i].valid && set[i].Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns a pointer to the line holding key, or nil. It does
+// not update LRU order or statistics. The pointer is invalidated by
+// the next Access to the same set.
+func (c *Cache) Lookup(key uint64) *Line {
+	set := c.setOf(key)
+	for i := range set {
+		if set[i].valid && set[i].Key == key {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Invalidate drops key from the cache, reporting whether it was
+// present and dirty at the time.
+func (c *Cache) Invalidate(key uint64) (present, dirty bool) {
+	si := key % c.numSets
+	set := c.sets[si]
+	for i := range set {
+		if set[i].valid && set[i].Key == key {
+			dirty = set[i].Dirty
+			c.sets[si] = append(set[:i], set[i+1:]...)
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// InvalidateAll clears the entire cache (the volatile state lost on a
+// crash). Statistics are preserved.
+func (c *Cache) InvalidateAll() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+}
+
+// Clean clears the dirty bit of key if present, reporting whether the
+// line was dirty.
+func (c *Cache) Clean(key uint64) bool {
+	if l := c.Lookup(key); l != nil && l.Dirty {
+		l.Dirty = false
+		return true
+	}
+	return false
+}
+
+// DirtyKeys returns the keys of all dirty lines for which filter
+// returns true (filter == nil selects all). Order is unspecified.
+// This models the dirty-bit scan AMNT performs on subtree movement.
+func (c *Cache) DirtyKeys(filter func(key uint64) bool) []uint64 {
+	var out []uint64
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].Dirty && (filter == nil || filter(set[i].Key)) {
+				out = append(out, set[i].Key)
+			}
+		}
+	}
+	return out
+}
+
+// FlushDirty clears the dirty bits of all lines selected by filter and
+// returns their keys; the caller performs the writebacks.
+func (c *Cache) FlushDirty(filter func(key uint64) bool) []uint64 {
+	keys := c.DirtyKeys(filter)
+	for _, k := range keys {
+		c.Clean(k)
+	}
+	return keys
+}
+
+// Keys returns all resident keys. Order is unspecified.
+func (c *Cache) Keys() []uint64 {
+	var out []uint64
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				out = append(out, set[i].Key)
+			}
+		}
+	}
+	return out
+}
+
+// Len returns the number of resident lines.
+func (c *Cache) Len() int {
+	n := 0
+	for _, set := range c.sets {
+		n += len(set)
+	}
+	return n
+}
+
+// HitRate returns the lifetime hit rate of Access calls.
+func (c *Cache) HitRate() float64 { return c.ratio.Rate() }
+
+// Accesses returns the lifetime number of Access calls.
+func (c *Cache) Accesses() uint64 { return c.ratio.Total }
+
+// Evictions returns the number of capacity evictions performed.
+func (c *Cache) Evictions() uint64 { return c.evicted.Value() }
+
+// ResetStats clears hit/eviction statistics without touching contents.
+func (c *Cache) ResetStats() {
+	c.ratio.Reset()
+	c.evicted.Reset()
+}

@@ -1,0 +1,423 @@
+// Package core implements A Midsummer Night's Tree (AMNT), the
+// paper's contribution: a "tree within a tree" hybrid metadata
+// persistence protocol for secure SCM.
+//
+// One internal BMT node — the *fast subtree root* — is held in an
+// on-chip non-volatile register. Writes to data under that node enjoy
+// leaf persistence (counter and HMAC persist, tree nodes only dirty
+// the metadata cache); writes everywhere else follow strict
+// persistence (the whole ancestral path is written through). After a
+// crash only the fast subtree is stale, so recovery work is bounded
+// by the subtree's span: 1/8^(level-1) of memory, selectable in the
+// BIOS via the subtree level.
+//
+// A 64-entry history buffer tracks which subtree region received the
+// most recent writes; every interval the hottest region is adopted as
+// the new subtree root. Movement flushes the old subtree's dirty
+// nodes and persists its path to the global root, preserving crash
+// consistency across the transition.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"amnt/internal/bmt"
+	"amnt/internal/counters"
+	"amnt/internal/mee"
+	"amnt/internal/scm"
+	"amnt/internal/stats"
+)
+
+// Option configures an AMNT policy.
+type Option func(*AMNT)
+
+// WithLevel sets the subtree root level in the paper's numbering
+// (root = level 1; level k has 8^(k-1) candidate regions). Default 3.
+func WithLevel(level int) Option { return func(a *AMNT) { a.level = level } }
+
+// WithInterval sets the number of data writes per hot-region tracking
+// interval (and the history buffer capacity). Default 64.
+func WithInterval(n int) Option { return func(a *AMNT) { a.interval = n } }
+
+// AMNT is the fast-subtree persistence policy. Construct with New and
+// install into an mee.Controller.
+type AMNT struct {
+	level    int
+	interval int
+
+	ctrl *mee.Controller
+
+	// Non-volatile on-chip state (survives Crash): the subtree root
+	// register — which node is fast, and its current content.
+	subIdx     uint64
+	subContent [bmt.NodeSize]byte
+
+	// Volatile state.
+	history     []histEntry
+	roundWrites int
+	curInside   bool // whether the in-flight write targets the subtree
+
+	// Statistics.
+	subtreeHits stats.Ratio
+	movements   stats.Counter
+	flushes     stats.Counter
+}
+
+type histEntry struct {
+	region uint64
+	count  uint32
+}
+
+// New returns an AMNT policy with the paper's defaults (subtree level
+// 3, 64-write interval, 64-entry history buffer).
+func New(opts ...Option) *AMNT {
+	a := &AMNT{level: 3, interval: 64}
+	for _, o := range opts {
+		o(a)
+	}
+	if a.level < 1 {
+		a.level = 1
+	}
+	if a.interval < 1 {
+		a.interval = 1
+	}
+	return a
+}
+
+// Name implements mee.Policy.
+func (a *AMNT) Name() string { return "amnt" }
+
+// Attach implements mee.Policy. The subtree boots over region 0 with
+// the zero-tree content, matching the zeroed device.
+func (a *AMNT) Attach(c *mee.Controller) {
+	a.ctrl = c
+	g := c.Geometry()
+	if a.level > g.Levels-1 {
+		a.level = g.Levels - 1 // the subtree root must be an inner node
+	}
+	if a.level < 1 {
+		a.level = 1
+	}
+	a.subIdx = 0
+	a.subContent = bmt.ZeroNode(c.Engine(), g, a.level)
+	a.history = make([]histEntry, 0, a.interval)
+}
+
+// Level returns the configured subtree root level.
+func (a *AMNT) Level() int { return a.level }
+
+// SubtreeIndex returns the current subtree root index within its level.
+func (a *AMNT) SubtreeIndex() uint64 { return a.subIdx }
+
+// SubtreeHitRate reports the fraction of data writes that landed in
+// the fast subtree (the paper's Figure 7 metric).
+func (a *AMNT) SubtreeHitRate() float64 { return a.subtreeHits.Rate() }
+
+// SubtreeWrites returns total data writes observed.
+func (a *AMNT) SubtreeWrites() uint64 { return a.subtreeHits.Total }
+
+// Movements reports how many subtree transitions occurred (§6.2).
+func (a *AMNT) Movements() uint64 { return a.movements.Value() }
+
+// FlushedNodes reports dirty tree nodes written back by movements.
+func (a *AMNT) FlushedNodes() uint64 { return a.flushes.Value() }
+
+// Regions returns the number of candidate subtree regions (8^(level-1)).
+func (a *AMNT) Regions() uint64 { return 1 << (3 * uint(a.level-1)) }
+
+// regionOf maps a counter-block (leaf) index to its subtree region.
+func (a *AMNT) regionOf(ctrIdx uint64) uint64 {
+	return a.ctrl.Geometry().Ancestor(a.level, ctrIdx)
+}
+
+// inSubtree reports whether a node (level >= a.level) lies in the
+// current fast subtree (or is its root).
+func (a *AMNT) inSubtree(level int, idx uint64) bool {
+	if level < a.level {
+		return false
+	}
+	return idx>>(3*uint(level-a.level)) == a.subIdx
+}
+
+// --- persistence decisions -------------------------------------------
+
+// WriteThroughCounter implements mee.Policy: counters always persist
+// (both the leaf and strict halves of the hybrid require it).
+func (*AMNT) WriteThroughCounter(uint64) bool { return true }
+
+// WriteThroughHMAC implements mee.Policy.
+func (*AMNT) WriteThroughHMAC(uint64) bool { return true }
+
+// WriteThroughTree implements mee.Policy: lazy inside the fast
+// subtree; strict outside. Ancestors of the subtree root persist only
+// when the in-flight write is itself outside the subtree — inside
+// writes stop at the NV subtree register.
+func (a *AMNT) WriteThroughTree(level int, idx uint64) bool {
+	if level >= a.level {
+		return !a.inSubtree(level, idx)
+	}
+	return !a.curInside
+}
+
+// AnchorContent implements mee.Policy: the subtree root register is a
+// trust anchor.
+func (a *AMNT) AnchorContent(level int, idx uint64) ([]byte, bool) {
+	if level == a.level && idx == a.subIdx {
+		return a.subContent[:], true
+	}
+	return nil, false
+}
+
+// OnTreeUpdate implements mee.Policy: updates to the subtree root
+// land in the NV register. (The controller's FetchVerified already
+// aliases the register through AnchorContent, so the content is
+// current; this hook exists for clarity and for the level-1 case.)
+func (a *AMNT) OnTreeUpdate(_ uint64, level int, idx uint64, content []byte) uint64 {
+	if level == a.level && idx == a.subIdx {
+		copy(a.subContent[:], content)
+	}
+	return 0
+}
+
+// OnDataRead implements mee.Policy: AMNT's membership check is an
+// address comparison against the subtree register — free, the point
+// of §7.3's argument against indirection.
+func (*AMNT) OnDataRead(uint64, uint64) uint64 { return 0 }
+
+// OnMetaFill implements mee.Policy (no bookkeeping on fills — AMNT's
+// area budget has no room for shadow structures).
+func (*AMNT) OnMetaFill(uint64, mee.MetaKey) uint64 { return 0 }
+
+// OnMetaEvict implements mee.Policy.
+func (*AMNT) OnMetaEvict(uint64, mee.MetaKey, bool) uint64 { return 0 }
+
+// OnWriteComplete implements mee.Policy.
+func (*AMNT) OnWriteComplete(uint64, uint64) uint64 { return 0 }
+
+// --- hot-region tracking ----------------------------------------------
+
+// OnDataWrite implements mee.Policy: classify the write, update the
+// history buffer, and run the end-of-interval adoption check.
+func (a *AMNT) OnDataWrite(now uint64, dataBlock uint64) uint64 {
+	region := a.regionOf(counters.CounterIndex(dataBlock))
+	a.curInside = region == a.subIdx
+	a.subtreeHits.Observe(a.curInside)
+	a.observe(region)
+	a.roundWrites++
+	if a.roundWrites < a.interval {
+		return 0
+	}
+	return a.endOfInterval(now)
+}
+
+// observe scans the history buffer for region, incrementing its
+// counter and promoting it to the head when it becomes the maximum.
+func (a *AMNT) observe(region uint64) {
+	for i := range a.history {
+		if a.history[i].region == region {
+			a.history[i].count++
+			if i != 0 && a.history[i].count > a.history[0].count {
+				a.history[0], a.history[i] = a.history[i], a.history[0]
+			}
+			return
+		}
+	}
+	// Unseen region: allocate an entry (the buffer has one entry per
+	// write in the interval, so capacity cannot be exceeded).
+	if len(a.history) < cap(a.history) {
+		a.history = append(a.history, histEntry{region: region, count: 1})
+		if a.history[len(a.history)-1].count > a.history[0].count {
+			last := len(a.history) - 1
+			a.history[0], a.history[last] = a.history[last], a.history[0]
+		}
+	}
+}
+
+// endOfInterval adopts the head region as the new subtree root when
+// it beat the current one (ties keep the current root), then resets
+// the tracker.
+func (a *AMNT) endOfInterval(now uint64) uint64 {
+	var cycles uint64
+	if len(a.history) > 0 {
+		head := a.history[0]
+		var curCount uint32
+		for _, e := range a.history {
+			if e.region == a.subIdx {
+				curCount = e.count
+				break
+			}
+		}
+		if head.region != a.subIdx && head.count > curCount {
+			cycles = a.move(now, head.region)
+		}
+	}
+	a.history = a.history[:0]
+	a.roundWrites = 0
+	return cycles
+}
+
+// move transitions the fast subtree from the current region to
+// newIdx: flush every dirty tree node (all of which belong to the old
+// subtree or its root path, since everything else is write-through),
+// persist the register content of the old root, then load and adopt
+// the new root.
+func (a *AMNT) move(now uint64, newIdx uint64) uint64 {
+	c := a.ctrl
+	g := c.Geometry()
+	var cycles uint64
+
+	// 1. Persist the old subtree's dirty interior and the dirty
+	// ancestors on the root path (the dirty-bit scan of §4.2).
+	for _, key := range c.DirtyTreeKeys(nil) {
+		cycles += c.PersistMeta(now+cycles, key, false)
+		a.flushes.Inc()
+	}
+	// 2. The old subtree root's freshest content lives in the
+	// register; write it to its home in the Tree region.
+	if a.level >= 2 {
+		cycles += c.PostDeviceWrite(now+cycles, scm.Tree, g.FlatIndex(a.level, a.subIdx), a.subContent[:], false)
+	}
+	// 3. Drain the queue: the transition must be durable before the
+	// new region may relax (crash consistency across movement).
+	cycles += c.Barrier(now + cycles)
+
+	// 4. Fetch and verify the new subtree root, then promote it into
+	// the register. Its cached copy (if any) is dropped so the
+	// register is the single source of truth.
+	oldIdx := a.subIdx
+	content, fc, err := c.FetchVerified(now+cycles, a.level, newIdx)
+	cycles += fc
+	if err != nil {
+		// An integrity failure here means off-chip tampering; the
+		// controller surfaces it on the triggering access. Abort the
+		// movement and keep the old (still consistent) subtree.
+		return cycles
+	}
+	copy(a.subContent[:], content)
+	a.subIdx = newIdx
+	if a.level >= 2 {
+		c.DropCached(mee.TreeKey(g, a.level, newIdx))
+	}
+	_ = oldIdx
+	a.movements.Inc()
+	return cycles
+}
+
+// SaveNV implements mee.NVSnapshotter: the subtree register (index +
+// content) is AMNT's only NV state beyond the root register.
+func (a *AMNT) SaveNV() []byte {
+	out := make([]byte, 8+bmt.NodeSize)
+	binary.LittleEndian.PutUint64(out[:8], a.subIdx)
+	copy(out[8:], a.subContent[:])
+	return out
+}
+
+// RestoreNV implements mee.NVSnapshotter.
+func (a *AMNT) RestoreNV(data []byte) error {
+	if len(data) != 8+bmt.NodeSize {
+		return fmt.Errorf("core: bad AMNT NV snapshot size %d", len(data))
+	}
+	a.subIdx = binary.LittleEndian.Uint64(data[:8])
+	copy(a.subContent[:], data[8:])
+	return nil
+}
+
+// --- crash & recovery ---------------------------------------------------
+
+// Crash implements mee.Policy: the history buffer and interval state
+// are volatile; the subtree register is NV.
+func (a *AMNT) Crash() {
+	a.history = a.history[:0]
+	a.roundWrites = 0
+	a.curInside = false
+}
+
+// Recover implements mee.Policy: rebuild only the fast subtree from
+// its counters, validate it against the NV subtree register, then
+// patch the (strictly persisted) path from the subtree root up to the
+// global root register.
+func (a *AMNT) Recover(now uint64) (mee.RecoveryReport, error) {
+	c := a.ctrl
+	g := c.Geometry()
+	dev := c.Device()
+	rep := mee.RecoveryReport{
+		Protocol:      a.Name(),
+		StaleFraction: 1 / float64(a.Regions()),
+	}
+
+	if a.level == 1 {
+		// Degenerate configuration (whole tree fast): the global root
+		// register is the subtree register.
+		a.subContent = c.Root()
+	}
+	res := bmt.Rebuild(dev, c.Engine(), g, a.level, a.subIdx, true)
+	rep.CounterReads = res.CounterReads
+	rep.NodeWrites = res.NodeWrites
+	rep.Cycles = res.Cycles
+	if res.Content != a.subContent {
+		return rep, &mee.IntegrityError{What: "amnt subtree register mismatch", Addr: a.subIdx}
+	}
+	if a.level >= 2 {
+		rep.Cycles += dev.Write(scm.Tree, g.FlatIndex(a.level, a.subIdx), a.subContent[:])
+		rep.NodeWrites++
+	}
+
+	// Patch the root path: ancestors are strictly persisted except
+	// for the child slot pointing at the fast subtree.
+	digest := bmt.Hash(c.Engine(), a.level, a.subContent[:])
+	idx := a.subIdx
+	var node [bmt.NodeSize]byte
+	for level := a.level - 1; level >= 2; level-- {
+		pidx := idx >> 3
+		flat := g.FlatIndex(level, pidx)
+		if dev.Contains(scm.Tree, flat) {
+			rep.Cycles += dev.Read(scm.Tree, flat, node[:])
+		} else {
+			node = bmt.ZeroNode(c.Engine(), g, level)
+		}
+		bmt.SetChildDigest(node[:], bmt.ChildSlot(idx), digest)
+		rep.Cycles += dev.Write(scm.Tree, flat, node[:])
+		rep.NodeWrites++
+		digest = bmt.Hash(c.Engine(), level, node[:])
+		idx = pidx
+	}
+	root := c.Root()
+	if a.level == 1 {
+		// Degenerate configuration: the whole tree is the fast
+		// subtree (pure leaf persistence); the register comparison
+		// above already validated against the subtree register, which
+		// must equal the global root.
+		if a.subContent != root {
+			return rep, &mee.IntegrityError{What: "amnt root register mismatch", Addr: 0}
+		}
+		return rep, nil
+	}
+	if bmt.ChildDigest(root[:], bmt.ChildSlot(idx)) != digest {
+		return rep, &mee.IntegrityError{What: "amnt recovered path does not match root register", Addr: idx}
+	}
+	return rep, nil
+}
+
+// Overhead implements mee.Policy per Table 3: one 64 B NV register
+// for the subtree root and a 96 B (768-bit) volatile history buffer.
+func (a *AMNT) Overhead() mee.Overhead {
+	historyBits := uint64(a.interval) * 2 * uint64(log2ceil(uint64(a.interval)))
+	return mee.Overhead{
+		NVOnChipBytes:  64,
+		VolOnChipBytes: (historyBits + 7) / 8,
+	}
+}
+
+func log2ceil(v uint64) int {
+	b := 0
+	for (uint64(1) << b) < v {
+		b++
+	}
+	return b
+}
+
+// String describes the configuration.
+func (a *AMNT) String() string {
+	return fmt.Sprintf("amnt(level=%d, interval=%d, regions=%d)", a.level, a.interval, a.Regions())
+}

@@ -1,0 +1,116 @@
+// Package counters implements the split-counter organization used by
+// counter-mode encryption: each 4 KB page has one 64-byte counter
+// block holding an 8-byte major counter shared by the page and a
+// 7-bit minor counter per 64 B data block (64 minors, bit-packed into
+// the remaining 56 bytes). Counter blocks are the leaves of the
+// Bonsai Merkle Tree.
+//
+// A minor counter overflow increments the major counter and resets
+// every minor in the page, which forces a page re-encryption — the
+// caller (the memory controller) pays that cost; this package only
+// reports it.
+package counters
+
+import "encoding/binary"
+
+const (
+	// BlockSize is the encoded size of a counter block in bytes.
+	BlockSize = 64
+	// BlocksPerPage is the number of 64 B data blocks covered by one
+	// counter block (one 4 KB page).
+	BlocksPerPage = 64
+	// MinorBits is the width of a minor counter.
+	MinorBits = 7
+	// MinorMax is the largest representable minor counter value.
+	MinorMax = 1<<MinorBits - 1
+)
+
+// Block is a decoded counter block.
+type Block struct {
+	Major  uint64
+	Minors [BlocksPerPage]uint8
+}
+
+// CounterIndex maps a data block index to its counter block index.
+func CounterIndex(dataBlock uint64) uint64 { return dataBlock / BlocksPerPage }
+
+// MinorSlot maps a data block index to its minor counter slot within
+// the counter block.
+func MinorSlot(dataBlock uint64) int { return int(dataBlock % BlocksPerPage) }
+
+// PageFirstBlock returns the first data block index covered by the
+// given counter block.
+func PageFirstBlock(counterBlock uint64) uint64 { return counterBlock * BlocksPerPage }
+
+// Decode parses a 64-byte encoded counter block.
+func Decode(raw []byte) Block {
+	if len(raw) != BlockSize {
+		panic("counters: encoded block must be 64 bytes")
+	}
+	var b Block
+	b.Major = binary.LittleEndian.Uint64(raw[:8])
+	// Minors are packed 7 bits each into raw[8:64] (448 bits).
+	bitOff := 0
+	packed := raw[8:]
+	for i := range b.Minors {
+		byteIdx := bitOff / 8
+		shift := bitOff % 8
+		v := uint16(packed[byteIdx]) >> shift
+		if shift > 1 { // the 7-bit field spills into the next byte
+			v |= uint16(packed[byteIdx+1]) << (8 - shift)
+		}
+		b.Minors[i] = uint8(v & MinorMax)
+		bitOff += MinorBits
+	}
+	return b
+}
+
+// Encode serializes the block into dst (64 bytes).
+func (b *Block) Encode(dst []byte) {
+	if len(dst) != BlockSize {
+		panic("counters: encode buffer must be 64 bytes")
+	}
+	binary.LittleEndian.PutUint64(dst[:8], b.Major)
+	packed := dst[8:]
+	for i := range packed {
+		packed[i] = 0
+	}
+	bitOff := 0
+	for i := range b.Minors {
+		v := uint16(b.Minors[i] & MinorMax)
+		byteIdx := bitOff / 8
+		shift := bitOff % 8
+		packed[byteIdx] |= byte(v << shift)
+		if shift > 1 {
+			packed[byteIdx+1] |= byte(v >> (8 - shift))
+		}
+		bitOff += MinorBits
+	}
+}
+
+// Get returns the (major, minor) pair for a minor slot.
+func (b *Block) Get(slot int) (major uint64, minor uint8) {
+	return b.Major, b.Minors[slot]
+}
+
+// Bump increments the minor counter at slot. If the minor overflows,
+// the major counter is incremented, every minor in the block resets to
+// zero, and Bump reports overflow — the caller must re-encrypt the
+// whole page under the new major counter.
+func (b *Block) Bump(slot int) (overflow bool) {
+	if b.Minors[slot] < MinorMax {
+		b.Minors[slot]++
+		return false
+	}
+	b.Major++
+	for i := range b.Minors {
+		b.Minors[i] = 0
+	}
+	return true
+}
+
+// WritesUntilOverflow returns how many more Bump calls the slot can
+// absorb before triggering a page re-encryption.
+func (b *Block) WritesUntilOverflow(slot int) int {
+	return MinorMax - int(b.Minors[slot]) + 1
+}

@@ -1,0 +1,182 @@
+package counters
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexMapping(t *testing.T) {
+	if CounterIndex(0) != 0 || CounterIndex(63) != 0 || CounterIndex(64) != 1 {
+		t.Fatal("CounterIndex wrong")
+	}
+	if MinorSlot(0) != 0 || MinorSlot(63) != 63 || MinorSlot(64) != 0 || MinorSlot(130) != 2 {
+		t.Fatal("MinorSlot wrong")
+	}
+	if PageFirstBlock(0) != 0 || PageFirstBlock(3) != 192 {
+		t.Fatal("PageFirstBlock wrong")
+	}
+}
+
+func TestEncodeDecodeZero(t *testing.T) {
+	var b Block
+	raw := make([]byte, BlockSize)
+	b.Encode(raw)
+	if !bytes.Equal(raw, make([]byte, BlockSize)) {
+		t.Fatal("zero block should encode to zero bytes")
+	}
+	got := Decode(raw)
+	if got != b {
+		t.Fatal("zero round trip failed")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	var b Block
+	b.Major = 0xDEADBEEFCAFEBABE
+	for i := range b.Minors {
+		b.Minors[i] = uint8((i * 37) % 128)
+	}
+	raw := make([]byte, BlockSize)
+	b.Encode(raw)
+	got := Decode(raw)
+	if got != b {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, b)
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(major uint64, minorSeed []byte) bool {
+		var b Block
+		b.Major = major
+		for i := range b.Minors {
+			if i < len(minorSeed) {
+				b.Minors[i] = minorSeed[i] & MinorMax
+			}
+		}
+		raw := make([]byte, BlockSize)
+		b.Encode(raw)
+		return Decode(raw) == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinorsDoNotInterfere(t *testing.T) {
+	// Setting one minor to max must not leak bits into neighbors.
+	for slot := 0; slot < BlocksPerPage; slot++ {
+		var b Block
+		b.Minors[slot] = MinorMax
+		raw := make([]byte, BlockSize)
+		b.Encode(raw)
+		got := Decode(raw)
+		for i := range got.Minors {
+			want := uint8(0)
+			if i == slot {
+				want = MinorMax
+			}
+			if got.Minors[i] != want {
+				t.Fatalf("slot %d: minor %d = %d, want %d", slot, i, got.Minors[i], want)
+			}
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	var b Block
+	b.Major = 7
+	b.Minors[5] = 9
+	major, minor := b.Get(5)
+	if major != 7 || minor != 9 {
+		t.Fatalf("Get = %d/%d", major, minor)
+	}
+}
+
+func TestBumpSimple(t *testing.T) {
+	var b Block
+	if b.Bump(3) {
+		t.Fatal("first bump overflowed")
+	}
+	if b.Minors[3] != 1 || b.Major != 0 {
+		t.Fatalf("state after bump: %+v", b)
+	}
+}
+
+func TestBumpOverflow(t *testing.T) {
+	var b Block
+	b.Minors[0] = MinorMax
+	b.Minors[1] = 50
+	if !b.Bump(0) {
+		t.Fatal("bump at max did not overflow")
+	}
+	if b.Major != 1 {
+		t.Fatalf("major = %d, want 1", b.Major)
+	}
+	for i, m := range b.Minors {
+		if m != 0 {
+			t.Fatalf("minor %d = %d after overflow, want 0", i, m)
+		}
+	}
+}
+
+func TestBumpSequenceToOverflow(t *testing.T) {
+	var b Block
+	overflows := 0
+	for i := 0; i < MinorMax+1; i++ {
+		if b.Bump(2) {
+			overflows++
+		}
+	}
+	if overflows != 1 {
+		t.Fatalf("overflows = %d, want 1", overflows)
+	}
+	if b.Major != 1 || b.Minors[2] != 0 {
+		t.Fatalf("state after wrap: major=%d minor=%d", b.Major, b.Minors[2])
+	}
+}
+
+func TestWritesUntilOverflow(t *testing.T) {
+	var b Block
+	if got := b.WritesUntilOverflow(0); got != MinorMax+1 {
+		t.Fatalf("fresh slot = %d, want %d", got, MinorMax+1)
+	}
+	b.Minors[0] = MinorMax
+	if got := b.WritesUntilOverflow(0); got != 1 {
+		t.Fatalf("maxed slot = %d, want 1", got)
+	}
+}
+
+// Property: (major, minor) pairs never repeat across a bump sequence
+// on a single slot — the temporal uniqueness CME relies on.
+func TestBumpFreshnessProperty(t *testing.T) {
+	var b Block
+	seen := make(map[[2]uint64]bool)
+	for i := 0; i < 3*(MinorMax+1); i++ {
+		key := [2]uint64{b.Major, uint64(b.Minors[7])}
+		if seen[key] {
+			t.Fatalf("counter pair %v repeated at step %d", key, i)
+		}
+		seen[key] = true
+		b.Bump(7)
+	}
+}
+
+func TestDecodePanicsOnShort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Decode accepted short input")
+		}
+	}()
+	Decode(make([]byte, 8))
+}
+
+func TestEncodePanicsOnShort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode accepted short buffer")
+		}
+	}()
+	var b Block
+	b.Encode(make([]byte, 8))
+}

@@ -1,0 +1,72 @@
+package counters
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeEncode checks that Decode∘Encode is the identity on the
+// wire format for arbitrary 64-byte blocks — i.e. every bit pattern
+// the device could hand us decodes to a block that re-encodes
+// identically (the 7-bit packing has no dead bits besides none).
+func FuzzDecodeEncode(f *testing.F) {
+	f.Add(make([]byte, BlockSize))
+	seed := make([]byte, BlockSize)
+	for i := range seed {
+		seed[i] = byte(i*37 + 1)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) != BlockSize {
+			t.Skip()
+		}
+		blk := Decode(raw)
+		out := make([]byte, BlockSize)
+		blk.Encode(out)
+		if !bytes.Equal(raw, out) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", raw, out)
+		}
+		// And the struct round-trips too.
+		if Decode(out) != blk {
+			t.Fatal("struct round trip mismatch")
+		}
+	})
+}
+
+// FuzzBumpSequence drives a counter block with an arbitrary slot
+// sequence and checks the freshness invariant: a (major, minor) pair
+// is never reissued for a slot within one overflow epoch, and
+// overflow resets behave as documented.
+func FuzzBumpSequence(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 63, 0, 0})
+	f.Fuzz(func(t *testing.T, slots []byte) {
+		var blk Block
+		type pair struct {
+			major uint64
+			minor uint8
+		}
+		seen := make(map[int]map[pair]bool)
+		for _, raw := range slots {
+			slot := int(raw) % BlocksPerPage
+			major, minor := blk.Get(slot)
+			p := pair{major, minor}
+			if seen[slot] == nil {
+				seen[slot] = make(map[pair]bool)
+			}
+			if seen[slot][p] {
+				t.Fatalf("slot %d reissued pair %+v", slot, p)
+			}
+			seen[slot][p] = true
+			overflow := blk.Bump(slot)
+			if overflow {
+				for i, m := range blk.Minors {
+					if m != 0 {
+						t.Fatalf("minor %d = %d after overflow", i, m)
+					}
+				}
+				// A new major epoch: freshness restarts.
+				seen = make(map[int]map[pair]bool)
+			}
+		}
+	})
+}

@@ -1,0 +1,276 @@
+package cpu
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"amnt/internal/mee"
+	"amnt/internal/scm"
+)
+
+// testRig builds a tiny two-level hierarchy over a leaf-persisted MEE
+// with a content store the test controls.
+type testRig struct {
+	h        *Hierarchy
+	ctrl     *mee.Controller
+	contents map[uint64][]byte
+}
+
+func newRig(t *testing.T, shared bool) *testRig {
+	t.Helper()
+	dev := scm.New(scm.Config{CapacityBytes: 2 << 20, ReadCycles: 610, WriteCycles: 782})
+	ctrl := mee.New(dev, mee.DefaultConfig(), mee.NewLeaf())
+	rig := &testRig{ctrl: ctrl, contents: make(map[uint64][]byte)}
+	cfg := Config{
+		L1: LevelConfig{SizeBytes: 4 * 64, Assoc: 2, HitCycles: 1},
+		L2: LevelConfig{SizeBytes: 16 * 64, Assoc: 4, HitCycles: 12},
+	}
+	sharedCache := SharedL3(0)
+	if shared {
+		sharedCache = SharedL3(64 * 64)
+	}
+	rig.h = NewHierarchy("t", cfg, sharedCache, ctrl, func(block uint64) []byte {
+		if c, ok := rig.contents[block]; ok {
+			return c
+		}
+		return make([]byte, scm.BlockSize)
+	})
+	return rig
+}
+
+func fill(seed byte) []byte {
+	b := make([]byte, scm.BlockSize)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+func TestPresets(t *testing.T) {
+	if SingleProgram().L2.SizeBytes != 1<<20 {
+		t.Fatal("single-program L2 should be 1 MB")
+	}
+	if MultiProgram().L2.SizeBytes != 128<<10 {
+		t.Fatal("multiprogram L2 should be 128 kB")
+	}
+	if MultiThread().L2.SizeBytes != 512<<10 {
+		t.Fatal("multithread L2 should be 512 kB")
+	}
+	if SharedL3(0) != nil {
+		t.Fatal("SharedL3(0) should be nil")
+	}
+	if SharedL3(1<<20) == nil {
+		t.Fatal("SharedL3(1MB) should exist")
+	}
+}
+
+func TestHitIsCheap(t *testing.T) {
+	rig := newRig(t, false)
+	first, err := rig.h.Access(0, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := rig.h.Access(first, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second >= first {
+		t.Fatalf("L1 hit (%d) not cheaper than cold miss (%d)", second, first)
+	}
+	if second != rig.h.Levels()[0].HitCycles() {
+		t.Fatalf("L1 hit = %d cycles, want %d", second, rig.h.Levels()[0].HitCycles())
+	}
+}
+
+func TestDirtyEvictionReachesMEE(t *testing.T) {
+	rig := newRig(t, false)
+	// Store to block 0, then blow it out of both levels with a
+	// conflicting stream; its content must land encrypted in SCM.
+	rig.contents[0] = fill(9)
+	if _, err := rig.h.Access(0, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	// L1: 2 sets x 2 ways; L2: 4 sets x 4 ways. Blocks ≡ 0 (mod 4)
+	// collide with block 0 in L2.
+	for i := uint64(1); i <= 20; i++ {
+		if _, err := rig.h.Access(uint64(i)*1000, i*4, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !rig.ctrl.Device().Contains(scm.Data, 0) {
+		t.Fatal("dirty block never written back to SCM")
+	}
+	// Read it back through the MEE and check the plaintext.
+	var buf [scm.BlockSize]byte
+	if _, err := rig.ctrl.ReadBlock(0, 0, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:], fill(9)) {
+		t.Fatal("writeback content mismatch")
+	}
+}
+
+func TestDrainFlushesEverything(t *testing.T) {
+	rig := newRig(t, true)
+	for i := uint64(0); i < 10; i++ {
+		rig.contents[i] = fill(byte(i))
+		if _, err := rig.h.Access(0, i, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rig.h.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10; i++ {
+		if !rig.ctrl.Device().Contains(scm.Data, i) {
+			t.Fatalf("block %d not drained", i)
+		}
+		var buf [scm.BlockSize]byte
+		if _, err := rig.ctrl.ReadBlock(0, i, buf[:]); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf[:], fill(byte(i))) {
+			t.Fatalf("block %d drained wrong content", i)
+		}
+	}
+	// Nothing dirty remains anywhere.
+	for _, c := range rig.h.Levels() {
+		if len(c.DirtyKeys(nil)) != 0 {
+			t.Fatalf("%s still has dirty lines after drain", c.Config().Name)
+		}
+	}
+}
+
+func TestSharedL3BetweenCores(t *testing.T) {
+	dev := scm.New(scm.Config{CapacityBytes: 2 << 20, ReadCycles: 610, WriteCycles: 782})
+	ctrl := mee.New(dev, mee.DefaultConfig(), mee.NewLeaf())
+	l3 := SharedL3(64 * 64)
+	cfg := Config{
+		L1: LevelConfig{SizeBytes: 4 * 64, Assoc: 2, HitCycles: 1},
+		L2: LevelConfig{SizeBytes: 16 * 64, Assoc: 4, HitCycles: 12},
+	}
+	content := func(uint64) []byte { return make([]byte, scm.BlockSize) }
+	h1 := NewHierarchy("c0", cfg, l3, ctrl, content)
+	h2 := NewHierarchy("c1", cfg, l3, ctrl, content)
+	// Core 0 pulls a block through all levels; core 1 should then hit
+	// in the shared L3 without touching the MEE.
+	if _, err := h1.Access(0, 77, false); err != nil {
+		t.Fatal(err)
+	}
+	readsBefore := ctrl.Stats().DataReads.Value()
+	if _, err := h2.Access(0, 77, false); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Stats().DataReads.Value() != readsBefore {
+		t.Fatal("core 1 missed the shared L3")
+	}
+}
+
+func TestInvalidateAllDropsDirty(t *testing.T) {
+	rig := newRig(t, false)
+	if _, err := rig.h.Access(0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	rig.h.InvalidateAll()
+	for _, c := range rig.h.Levels() {
+		if c.Len() != 0 {
+			t.Fatal("lines remain after InvalidateAll")
+		}
+	}
+	// The dirty data was (deliberately) lost, not written back.
+	if rig.ctrl.Device().Contains(scm.Data, 1) {
+		t.Fatal("InvalidateAll must not write back")
+	}
+}
+
+func TestVerifyHookRuns(t *testing.T) {
+	rig := newRig(t, false)
+	rig.contents[3] = fill(1)
+	if _, err := rig.h.Access(0, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rig.h.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	rig.h.InvalidateAll()
+	wantErr := errors.New("oracle mismatch")
+	called := false
+	rig.h.SetVerify(func(block uint64, data []byte) error {
+		called = true
+		if block == 3 && bytes.Equal(data, fill(1)) {
+			return nil
+		}
+		return wantErr
+	})
+	if _, err := rig.h.Access(0, 3, false); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("verify hook not called on MEE read")
+	}
+	rig.h.InvalidateAll()
+	rig.h.SetVerify(func(uint64, []byte) error { return wantErr })
+	if _, err := rig.h.Access(0, 3, false); !errors.Is(err, wantErr) {
+		t.Fatalf("verify error not surfaced: %v", err)
+	}
+}
+
+func TestSnoopMigratesDirtyLine(t *testing.T) {
+	dev := scm.New(scm.Config{CapacityBytes: 2 << 20, ReadCycles: 610, WriteCycles: 782})
+	ctrl := mee.New(dev, mee.DefaultConfig(), mee.NewLeaf())
+	cfg := Config{
+		L1: LevelConfig{SizeBytes: 4 * 64, Assoc: 2, HitCycles: 1},
+		L2: LevelConfig{SizeBytes: 16 * 64, Assoc: 4, HitCycles: 12},
+	}
+	content := func(uint64) []byte { return make([]byte, scm.BlockSize) }
+	a := NewHierarchy("a", cfg, nil, ctrl, content)
+	b := NewHierarchy("b", cfg, nil, ctrl, content)
+	b.SetSnoop(func(block uint64) bool { return a.ExtractDirty(block) })
+
+	// Core A dirties block 9 in its private cache.
+	if _, err := a.Access(0, 9, true); err != nil {
+		t.Fatal(err)
+	}
+	// Core B misses everywhere; the snoop must migrate A's dirty copy
+	// instead of reading (stale) memory.
+	readsBefore := ctrl.Stats().DataReads.Value()
+	if _, err := b.Access(100, 9, false); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Stats().DataReads.Value() != readsBefore {
+		t.Fatal("snooped access still read the MEE")
+	}
+	// A no longer holds the block; B's L1 copy carries the dirty bit.
+	if a.Levels()[0].Probe(9) || a.Levels()[1].Probe(9) {
+		t.Fatal("dirty copy not extracted from core A")
+	}
+	l := b.Levels()[0].Lookup(9)
+	if l == nil || !l.Dirty {
+		t.Fatal("migrated copy is not dirty in core B")
+	}
+}
+
+func TestExtractDirtyLeavesSharedLevels(t *testing.T) {
+	dev := scm.New(scm.Config{CapacityBytes: 2 << 20, ReadCycles: 610, WriteCycles: 782})
+	ctrl := mee.New(dev, mee.DefaultConfig(), mee.NewLeaf())
+	cfg := Config{
+		L1: LevelConfig{SizeBytes: 4 * 64, Assoc: 2, HitCycles: 1},
+		L2: LevelConfig{SizeBytes: 16 * 64, Assoc: 4, HitCycles: 12},
+	}
+	l3 := SharedL3(64 * 64)
+	content := func(uint64) []byte { return make([]byte, scm.BlockSize) }
+	h := NewHierarchy("c", cfg, l3, ctrl, content)
+	if _, err := h.Access(0, 5, false); err != nil {
+		t.Fatal(err)
+	}
+	if h.ExtractDirty(5) {
+		t.Fatal("clean line reported dirty")
+	}
+	if !l3.Probe(5) {
+		t.Fatal("ExtractDirty must not touch the shared level")
+	}
+	if h.Levels()[0].Probe(5) {
+		t.Fatal("private copy should be gone")
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"amnt/internal/stats"
+	"amnt/internal/workload"
+)
+
+// storageProtocols compared for the in-memory storage study: the
+// crash-consistent schemes plus the battery-backed design point.
+var storageProtocols = []string{"leaf", "strict", "plp", "triad", "anubis", "bmf", "battery", "indirect", "amnt", "amnt++"}
+
+// Storage reproduces the abstract's headline claim on its target
+// applications: in-memory key-value storage (YCSB-style mixes).
+// Write-heavy mixes (A, F) are exactly where crash-consistent
+// metadata persistence hurts, and where AMNT's fast subtree pays off;
+// read-dominated mixes (B, C) show which protocols tax reads too.
+func Storage(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	o.logf("Storage: YCSB-style in-memory store mixes")
+	t := stats.NewTable("In-memory storage (YCSB mixes) — normalized cycles (lower is better)",
+		append([]string{"mix"}, storageProtocols...)...)
+	perProto := make(map[string][]float64)
+	var amntVsAnubis []float64
+	suite := workload.YCSB()
+	norms := make([]map[string]float64, len(suite))
+	if err := fanOut(len(suite), func(i int) error {
+		var err error
+		norms[i], _, err = o.normalizedRow("single", storageProtocols, suite[i])
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for i, spec := range suite {
+		norm := norms[i]
+		row := []interface{}{spec.Name}
+		for _, p := range storageProtocols {
+			row = append(row, norm[p])
+			perProto[p] = append(perProto[p], norm[p])
+		}
+		t.AddRow(row...)
+		if norm["anubis"] > 1 {
+			amntVsAnubis = append(amntVsAnubis, 1-(norm["amnt"]-1)/(norm["anubis"]-1))
+		}
+	}
+	row := []interface{}{"mean"}
+	for _, p := range storageProtocols {
+		row = append(row, stats.Mean(perProto[p]))
+	}
+	t.AddRow(row...)
+	if len(amntVsAnubis) > 0 {
+		t.AddNote("amnt cuts the state-of-the-art's (anubis) overhead by %.0f%% on average across mixes", 100*stats.Mean(amntVsAnubis))
+	}
+	t.AddNote("paper abstract: \"a 41%% reduction in execution overhead on average versus the state-of-the-art\" for in-memory storage")
+	t.AddNote("battery matches volatile at runtime but requires provisioned flush energy (see ablations)")
+	t.AddNote("indirect (ProMT/Bo-Tree-style) pays a membership fetch before every access — visible even on the read-only mix (§7.3)")
+	return t, nil
+}

@@ -1,0 +1,73 @@
+package kernel
+
+import "testing"
+
+// FuzzBuddyOps drives the allocator with an arbitrary alloc/free
+// program and checks the structural invariants after every step.
+func FuzzBuddyOps(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 2, 1})
+	f.Add([]byte{3, 3, 3, 3, 128, 129, 130})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		a := NewAllocator(256, 5)
+		type held struct {
+			start uint64
+			order int
+		}
+		var live []held
+		for _, op := range ops {
+			if op&0x80 != 0 && len(live) > 0 {
+				// Free a held chunk chosen by the low bits.
+				i := int(op&0x7F) % len(live)
+				a.Free(live[i].start, live[i].order)
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				order := int(op) % 4
+				if start, ok := a.Alloc(order); ok {
+					live = append(live, held{start, order})
+				}
+			}
+			if err := a.CheckInvariants(); err != nil {
+				t.Fatalf("invariant violated: %v", err)
+			}
+		}
+		// Free everything: memory must return in full.
+		for _, h := range live {
+			a.Free(h.start, h.order)
+		}
+		if a.FreePages() != 256 {
+			t.Fatalf("leaked pages: %d free of 256", a.FreePages())
+		}
+		if err := a.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzRestructure checks that the AMNT++ reorder preserves the free
+// set exactly, for arbitrary prior allocation patterns and region
+// sizes.
+func FuzzRestructure(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, uint8(16))
+	f.Fuzz(func(t *testing.T, ops []byte, regionPages uint8) {
+		a := NewAllocator(128, 4)
+		var pages []uint64
+		for _, op := range ops {
+			if op&1 == 0 {
+				if p, ok := a.AllocPage(); ok {
+					pages = append(pages, p)
+				}
+			} else if len(pages) > 0 {
+				a.FreePage(pages[len(pages)-1])
+				pages = pages[:len(pages)-1]
+			}
+		}
+		before := a.FreePages()
+		a.Restructure(uint64(regionPages))
+		if a.FreePages() != before {
+			t.Fatalf("restructure changed free count: %d -> %d", before, a.FreePages())
+		}
+		if err := a.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,244 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PageSize is the physical page size in bytes (64 data blocks).
+const PageSize = 4096
+
+// BlocksPerPage is the number of 64-byte blocks per page.
+const BlocksPerPage = PageSize / 64
+
+// Config describes the kernel model.
+type Config struct {
+	// MemoryBytes is the physical memory size.
+	MemoryBytes uint64
+	// MaxOrder is the buddy allocator's largest order (Linux: 11).
+	MaxOrder int
+	// AMNTPlusPlus enables the modified allocator (free-list
+	// restructuring during reclamation).
+	AMNTPlusPlus bool
+	// SubtreeRegionPages is the AMNT subtree region size in pages
+	// (coverage of one node at the configured subtree level). Only
+	// used when AMNTPlusPlus is set.
+	SubtreeRegionPages uint64
+	// ReclaimBatch is how many page frees accumulate before the
+	// reclamation path (and, with AMNT++, the restructure) runs.
+	ReclaimBatch int
+}
+
+// DefaultConfig returns an 8 GB kernel matching the paper's setup
+// (subtree level 3 => 128 MB regions => 32768 pages).
+func DefaultConfig() Config {
+	return Config{
+		MemoryBytes:        8 << 30,
+		MaxOrder:           11,
+		SubtreeRegionPages: (128 << 20) / PageSize,
+		ReclaimBatch:       64,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MemoryBytes == 0 {
+		c.MemoryBytes = d.MemoryBytes
+	}
+	if c.MaxOrder == 0 {
+		c.MaxOrder = d.MaxOrder
+	}
+	if c.SubtreeRegionPages == 0 {
+		c.SubtreeRegionPages = d.SubtreeRegionPages
+	}
+	if c.ReclaimBatch == 0 {
+		c.ReclaimBatch = d.ReclaimBatch
+	}
+	return c
+}
+
+// Kernel owns the physical page allocator and the process table.
+type Kernel struct {
+	cfg         Config
+	alloc       *Allocator
+	procs       map[int]*Process
+	nextPID     int
+	pendingFree int
+	pinned      []uint64
+	restructs   uint64
+	faults      uint64
+}
+
+// New builds a kernel from cfg.
+func New(cfg Config) *Kernel {
+	cfg = cfg.withDefaults()
+	return &Kernel{
+		cfg:   cfg,
+		alloc: NewAllocator(cfg.MemoryBytes/PageSize, cfg.MaxOrder),
+		procs: make(map[int]*Process),
+	}
+}
+
+// Config returns the kernel configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// Allocator exposes the buddy allocator (tests, stats).
+func (k *Kernel) Allocator() *Allocator { return k.alloc }
+
+// Instructions returns the modeled OS instructions executed so far
+// (allocator paths plus page-fault handling).
+func (k *Kernel) Instructions() uint64 {
+	return k.alloc.Instructions() + k.faults*instrFault
+}
+
+// Restructures returns how many AMNT++ restructure passes ran.
+func (k *Kernel) Restructures() uint64 { return k.restructs }
+
+// PageFaults returns the number of demand-paging faults served.
+func (k *Kernel) PageFaults() uint64 { return k.faults }
+
+// NewProcess creates a process with an empty address space.
+func (k *Kernel) NewProcess(name string) *Process {
+	k.nextPID++
+	p := &Process{
+		PID:    k.nextPID,
+		Name:   name,
+		kernel: k,
+		pages:  make(map[uint64]uint64),
+	}
+	k.procs[p.PID] = p
+	return p
+}
+
+// reclaim is the page-free path; with AMNT++ it periodically reorders
+// the free lists (out of the allocation critical path, §5).
+func (k *Kernel) reclaim(page uint64) {
+	k.alloc.FreePage(page)
+	k.pendingFree++
+	if k.pendingFree >= k.cfg.ReclaimBatch {
+		k.pendingFree = 0
+		if k.cfg.AMNTPlusPlus {
+			k.alloc.Restructure(k.cfg.SubtreeRegionPages)
+			k.restructs++
+		}
+	}
+}
+
+// Prefragment ages the allocator the way uptime does: a span of
+// physical memory (capped at half of what is free) becomes a mosaic
+// of pinned stretches (kernel text, page tables, long-lived daemons)
+// and free runs a few pages long. The free runs are returned to the
+// allocator in shuffled order, so the free lists start with partially
+// contiguous chunks scattered across several subtree regions before
+// falling back to pristine large chunks — the state in which physical
+// placement policy (AMNT++) matters.
+func (k *Kernel) Prefragment(rng *rand.Rand, span int) {
+	if max := int(k.alloc.FreePages() / 2); span > max {
+		span = max
+	}
+	var held []uint64
+	for i := 0; i < span; i++ {
+		page, ok := k.alloc.AllocPage()
+		if !ok {
+			break
+		}
+		held = append(held, page)
+	}
+	// Carve the span into alternating pinned stretches and free runs.
+	var runs [][]uint64
+	i := 0
+	for i < len(held) {
+		pinLen := 4 + rng.Intn(20) // pinned stretch: 4..23 pages
+		for j := 0; j < pinLen && i < len(held); j++ {
+			k.pinned = append(k.pinned, held[i])
+			i++
+		}
+		runLen := 2 + rng.Intn(10) // free run: 2..11 pages
+		var run []uint64
+		for j := 0; j < runLen && i < len(held); j++ {
+			run = append(run, held[i])
+			i++
+		}
+		if len(run) > 0 {
+			runs = append(runs, run)
+		}
+	}
+	rng.Shuffle(len(runs), func(a, b int) { runs[a], runs[b] = runs[b], runs[a] })
+	for _, run := range runs {
+		// Free in reverse so the head-pushed list pops in ascending
+		// (sequential) order within the run.
+		for j := len(run) - 1; j >= 0; j-- {
+			k.alloc.FreePage(run[j])
+		}
+	}
+}
+
+// PinnedPages returns how many pages Prefragment left pinned.
+func (k *Kernel) PinnedPages() int { return len(k.pinned) }
+
+// Process is a simulated address space: virtual pages map to physical
+// pages on first touch (demand paging).
+type Process struct {
+	PID    int
+	Name   string
+	kernel *Kernel
+	pages  map[uint64]uint64 // vpage -> ppage
+}
+
+// Translate returns the physical byte address backing vaddr,
+// allocating a physical page on first touch. The second result
+// reports whether a page fault was taken.
+func (p *Process) Translate(vaddr uint64) (uint64, bool) {
+	vpage := vaddr / PageSize
+	ppage, ok := p.pages[vpage]
+	if !ok {
+		page, allocated := p.kernel.alloc.AllocPage()
+		if !allocated {
+			panic(fmt.Sprintf("kernel: out of physical memory for %s", p.Name))
+		}
+		p.kernel.faults++
+		p.pages[vpage] = page
+		ppage = page
+		return ppage*PageSize + vaddr%PageSize, true
+	}
+	return ppage*PageSize + vaddr%PageSize, false
+}
+
+// Resident returns the number of mapped pages.
+func (p *Process) Resident() int { return len(p.pages) }
+
+// PhysicalPages returns the mapped physical page numbers (order
+// unspecified).
+func (p *Process) PhysicalPages() []uint64 {
+	out := make([]uint64, 0, len(p.pages))
+	for _, pp := range p.pages {
+		out = append(out, pp)
+	}
+	return out
+}
+
+// Release unmaps everything, sending the pages through reclamation
+// (which is where AMNT++ restructures the free lists).
+func (p *Process) Release() {
+	for v, pp := range p.pages {
+		p.kernel.reclaim(pp)
+		delete(p.pages, v)
+	}
+	delete(p.kernel.procs, p.PID)
+}
+
+// ReleasePages unmaps a fraction of the address space (models partial
+// reclamation under memory pressure), chosen deterministically.
+func (p *Process) ReleasePages(every int) {
+	if every <= 0 {
+		return
+	}
+	i := 0
+	for v, pp := range p.pages {
+		if i%every == 0 {
+			p.kernel.reclaim(pp)
+			delete(p.pages, v)
+		}
+		i++
+	}
+}

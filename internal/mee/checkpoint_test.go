@@ -1,0 +1,148 @@
+package mee
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"amnt/internal/scm"
+)
+
+func TestDeviceSnapshotRoundTrip(t *testing.T) {
+	d := testDevice()
+	blk := pattern(5)
+	d.Write(scm.Data, 7, blk)
+	d.Write(scm.Counter, 3, pattern(6))
+	d.Write(scm.Tree, 99, pattern(7))
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2 := scm.New(scm.Config{CapacityBytes: 1 << 20})
+	if _, err := d2.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Config() != d.Config() {
+		t.Fatalf("config mismatch: %+v vs %+v", d2.Config(), d.Config())
+	}
+	for _, r := range []scm.Region{scm.Data, scm.Counter, scm.HMAC, scm.Tree, scm.Shadow} {
+		if d2.BlocksWritten(r) != d.BlocksWritten(r) {
+			t.Fatalf("region %s footprint mismatch", r)
+		}
+	}
+	if !bytes.Equal(d2.Peek(scm.Data, 7), blk) {
+		t.Fatal("block content mismatch")
+	}
+}
+
+func TestDeviceSnapshotRejectsGarbage(t *testing.T) {
+	d := testDevice()
+	if _, err := d.ReadFrom(strings.NewReader("garbage not a snapshot")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := d.ReadFrom(strings.NewReader("")); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+// checkpointPolicies are the policies exercised through a full
+// save/load/verify cycle.
+func checkpointPolicies() []Policy {
+	return []Policy{NewStrict(), NewLeaf(), NewOsiris(4), NewAnubis(), NewBMF()}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, p := range checkpointPolicies() {
+		t.Run(p.Name(), func(t *testing.T) {
+			c := New(testDevice(), tinyCacheConfig(), p)
+			want := make(map[uint64][]byte)
+			for i := uint64(0); i < 200; i++ {
+				data := pattern(byte(i * 3))
+				if _, err := c.WriteBlock(uint64(i), (i*37)%4096, data); err != nil {
+					t.Fatal(err)
+				}
+				want[(i*37)%4096] = data
+			}
+			var ckpt bytes.Buffer
+			if err := c.SaveCheckpoint(&ckpt); err != nil {
+				t.Fatal(err)
+			}
+			// Writes after the checkpoint must not leak into the restore.
+			if _, err := c.WriteBlock(0, 9999, pattern(0xEE)); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.LoadCheckpoint(bytes.NewReader(ckpt.Bytes())); err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if err := c.VerifyAll(0); err != nil {
+				t.Fatalf("post-restore integrity: %v", err)
+			}
+			got := make([]byte, scm.BlockSize)
+			for b, data := range want {
+				if _, err := c.ReadBlock(0, b, got); err != nil {
+					t.Fatalf("block %d: %v", b, err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("block %d content drift", b)
+				}
+			}
+			// And the machine keeps working after a restore.
+			if _, err := c.WriteBlock(0, 123, pattern(9)); err != nil {
+				t.Fatalf("post-restore write: %v", err)
+			}
+			c.Crash()
+			if _, err := c.Recover(0); err != nil {
+				t.Fatalf("post-restore recovery: %v", err)
+			}
+		})
+	}
+}
+
+func TestCheckpointPolicyMismatch(t *testing.T) {
+	c := New(testDevice(), DefaultConfig(), NewLeaf())
+	var ckpt bytes.Buffer
+	if err := c.SaveCheckpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	other := New(testDevice(), DefaultConfig(), NewStrict())
+	if err := other.LoadCheckpoint(bytes.NewReader(ckpt.Bytes())); err == nil {
+		t.Fatal("cross-policy checkpoint load accepted")
+	}
+}
+
+func TestCheckpointGarbage(t *testing.T) {
+	c := New(testDevice(), DefaultConfig(), NewLeaf())
+	if err := c.LoadCheckpoint(strings.NewReader("nope")); err == nil {
+		t.Fatal("garbage checkpoint accepted")
+	}
+}
+
+func TestBMFNVSnapshotCarriesRootSet(t *testing.T) {
+	p := NewBMF()
+	p.Interval = 32
+	c := New(testDevice(), DefaultConfig(), p)
+	for i := 0; i < 300; i++ {
+		if _, err := c.WriteBlock(0, uint64(i%8), pattern(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.RootCount() <= 1 {
+		t.Fatal("precondition: want a pruned forest")
+	}
+	wantRoots := p.RootCount()
+	var ckpt bytes.Buffer
+	if err := c.SaveCheckpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	// Wreck the live set, then restore.
+	p.Crash()
+	if err := c.LoadCheckpoint(bytes.NewReader(ckpt.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if p.RootCount() != wantRoots {
+		t.Fatalf("root set = %d after restore, want %d", p.RootCount(), wantRoots)
+	}
+	if err := c.VerifyAll(0); err != nil {
+		t.Fatal(err)
+	}
+}

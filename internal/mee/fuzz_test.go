@@ -1,0 +1,60 @@
+package mee
+
+import (
+	"bytes"
+	"testing"
+
+	"amnt/internal/scm"
+)
+
+// FuzzControllerOps drives a leaf-persisted controller with an
+// arbitrary program of writes, reads, and crash/recover cycles, and
+// checks full data fidelity throughout. Each op byte encodes an
+// action and an address.
+func FuzzControllerOps(f *testing.F) {
+	f.Add([]byte{0x01, 0x41, 0xFE, 0x01})
+	f.Add([]byte{0x10, 0x90, 0xFF, 0x10, 0x55})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 512 {
+			ops = ops[:512]
+		}
+		c := New(testDevice(), tinyCacheConfig(), NewLeaf())
+		want := make(map[uint64][]byte)
+		got := make([]byte, scm.BlockSize)
+		for i, op := range ops {
+			block := uint64(op&0x3F) * 37 % 4096
+			switch {
+			case op&0xC0 == 0xC0 && i%7 == 0:
+				c.Crash()
+				if _, err := c.Recover(0); err != nil {
+					t.Fatalf("op %d recover: %v", i, err)
+				}
+			case op&0x40 != 0:
+				data := pattern(op)
+				if _, err := c.WriteBlock(uint64(i), block, data); err != nil {
+					t.Fatalf("op %d write: %v", i, err)
+				}
+				want[block] = data
+			default:
+				if _, err := c.ReadBlock(uint64(i), block, got); err != nil {
+					t.Fatalf("op %d read: %v", i, err)
+				}
+				if data, ok := want[block]; ok && !bytes.Equal(got, data) {
+					t.Fatalf("op %d block %d stale", i, block)
+				}
+			}
+		}
+		c.Crash()
+		if _, err := c.Recover(0); err != nil {
+			t.Fatalf("final recover: %v", err)
+		}
+		for block, data := range want {
+			if _, err := c.ReadBlock(0, block, got); err != nil {
+				t.Fatalf("final read %d: %v", block, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("final block %d mismatch", block)
+			}
+		}
+	})
+}

@@ -1,0 +1,782 @@
+// Package mee implements the memory encryption engine: the on-chip
+// secure memory controller that sits between the last-level cache and
+// the SCM device. It provides counter-mode encryption, per-block
+// HMACs, and Bonsai Merkle Tree integrity verification, with a
+// pluggable metadata persistence Policy — the axis the paper explores.
+//
+// The controller is functional and timed. Functional: every data block
+// is really encrypted into the device, counters really tick, tree
+// hashes are really verified on every metadata miss, and tampering
+// with the device raises *IntegrityError. Timed: each operation
+// returns its cost in cycles, built from metadata cache hits, device
+// latencies, hash latencies, and a bounded write queue that charges
+// posted writes only on back-pressure but blocking persists in full —
+// the mechanism that makes strict persistence expensive and leaf
+// persistence cheap, exactly as in the paper.
+//
+// Built-in policies: Volatile (the paper's normalization baseline),
+// Strict, Leaf, Osiris (stop-loss counters), Anubis (shadow table),
+// and BMF (Bonsai Merkle Forest). The paper's contribution, AMNT,
+// implements Policy in package core.
+package mee
+
+import (
+	"fmt"
+
+	"amnt/internal/bmt"
+	"amnt/internal/cache"
+	"amnt/internal/cme"
+	"amnt/internal/counters"
+	"amnt/internal/scm"
+	"amnt/internal/stats"
+)
+
+// Config holds the controller's hardware parameters. Defaults follow
+// the paper's Table 1 (64 kB metadata cache, 2-cycle latency).
+type Config struct {
+	// MetaCacheBytes is the unified metadata cache capacity.
+	MetaCacheBytes int
+	// MetaAssoc is the metadata cache associativity.
+	MetaAssoc int
+	// MetaHitCycles is the metadata cache access latency.
+	MetaHitCycles uint64
+	// MetaReplacement selects the metadata cache's victim policy
+	// (default LRU).
+	MetaReplacement cache.Replacement
+	// HashCycles is the latency of one keyed-hash/HMAC computation.
+	HashCycles uint64
+	// WriteQueueDepth bounds in-flight SCM writes.
+	WriteQueueDepth int
+	// WriteDrainCycles is the service time per queued write (device
+	// write latency divided across channels/banks).
+	WriteDrainCycles uint64
+	// ReadOverlap is the memory-level-parallelism divisor applied to
+	// device read latency: an out-of-order core overlaps independent
+	// misses, so each read charges ReadCycles/ReadOverlap.
+	ReadOverlap uint64
+	// PostedWriteCycles is the fixed cost of inserting one (uncoalesced)
+	// ordered write into the persist queue.
+	PostedWriteCycles uint64
+	// NoCoalesce disables write-queue address coalescing (ablation:
+	// every posted persist occupies its own drain slot).
+	NoCoalesce bool
+	// Hasher selects the hash backend (cme.Fast by default).
+	Hasher cme.Hasher
+	// Key is the device encryption key.
+	Key uint64
+}
+
+// DefaultConfig returns the paper's secure-memory configuration.
+func DefaultConfig() Config {
+	return Config{
+		MetaCacheBytes:    64 << 10,
+		MetaAssoc:         8,
+		MetaHitCycles:     2,
+		HashCycles:        24,
+		WriteQueueDepth:   16,
+		WriteDrainCycles:  scm.DefaultWriteCycles / 2, // two persist channels
+		ReadOverlap:       4,
+		PostedWriteCycles: 12,
+		Hasher:            cme.Fast{},
+		Key:               0x414D4E54, // "AMNT"
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MetaCacheBytes == 0 {
+		c.MetaCacheBytes = d.MetaCacheBytes
+	}
+	if c.MetaAssoc == 0 {
+		c.MetaAssoc = d.MetaAssoc
+	}
+	if c.MetaHitCycles == 0 {
+		c.MetaHitCycles = d.MetaHitCycles
+	}
+	if c.HashCycles == 0 {
+		c.HashCycles = d.HashCycles
+	}
+	if c.WriteQueueDepth == 0 {
+		c.WriteQueueDepth = d.WriteQueueDepth
+	}
+	if c.WriteDrainCycles == 0 {
+		c.WriteDrainCycles = d.WriteDrainCycles
+	}
+	if c.ReadOverlap == 0 {
+		c.ReadOverlap = d.ReadOverlap
+	}
+	if c.PostedWriteCycles == 0 {
+		c.PostedWriteCycles = d.PostedWriteCycles
+	}
+	if c.Hasher == nil {
+		c.Hasher = d.Hasher
+	}
+	if c.Key == 0 {
+		c.Key = d.Key
+	}
+	return c
+}
+
+// IntegrityError reports an authentication failure: corrupted,
+// spliced, or replayed off-chip state.
+type IntegrityError struct {
+	What string
+	Addr uint64
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("mee: integrity violation: %s at %#x", e.What, e.Addr)
+}
+
+// MetaKey identifies a metadata block in the unified metadata cache.
+// The top bits carry the kind, the low bits the region-local index.
+type MetaKey uint64
+
+const (
+	keyKindShift         = 62
+	kindCounter   uint64 = 0
+	kindTree      uint64 = 1
+	kindHMAC      uint64 = 2
+	kindShadowAux uint64 = 3
+)
+
+// CounterKey returns the MetaKey of a counter block.
+func CounterKey(idx uint64) MetaKey { return MetaKey(kindCounter<<keyKindShift | idx) }
+
+// HMACKey returns the MetaKey of an HMAC block.
+func HMACKey(idx uint64) MetaKey { return MetaKey(kindHMAC<<keyKindShift | idx) }
+
+// TreeKey returns the MetaKey of an inner tree node.
+func TreeKey(g bmt.Geometry, level int, idx uint64) MetaKey {
+	return MetaKey(kindTree<<keyKindShift | g.FlatIndex(level, idx))
+}
+
+// kind returns the key's kind tag.
+func (k MetaKey) kind() uint64 { return uint64(k) >> keyKindShift }
+
+// index returns the key's region-local index.
+func (k MetaKey) index() uint64 { return uint64(k) &^ (uint64(3) << keyKindShift) }
+
+// IsTree reports whether the key names an inner tree node.
+func (k MetaKey) IsTree() bool { return k.kind() == kindTree }
+
+// IsCounter reports whether the key names a counter block.
+func (k MetaKey) IsCounter() bool { return k.kind() == kindCounter }
+
+// TreeNode returns the (level, index) of a tree key.
+func (k MetaKey) TreeNode(g bmt.Geometry) (level int, idx uint64) {
+	if !k.IsTree() {
+		panic("mee: TreeNode on non-tree key")
+	}
+	return g.Unflatten(k.index())
+}
+
+// CounterIndex returns the counter-block index of a counter key.
+func (k MetaKey) CounterIndex() uint64 {
+	if !k.IsCounter() {
+		panic("mee: CounterIndex on non-counter key")
+	}
+	return k.index()
+}
+
+// region returns the device region and index backing the key.
+func (k MetaKey) region() (scm.Region, uint64) {
+	switch k.kind() {
+	case kindCounter:
+		return scm.Counter, k.index()
+	case kindTree:
+		return scm.Tree, k.index()
+	case kindHMAC:
+		return scm.HMAC, k.index()
+	case kindShadowAux:
+		return scm.Shadow, k.index()
+	}
+	panic("mee: unknown key kind")
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	DataReads    stats.Counter
+	DataWrites   stats.Counter
+	MetaFetches  stats.Counter // metadata blocks fetched from SCM
+	SyncPersists stats.Counter // blocking metadata persists
+	PostedWrites stats.Counter // posted (queued) SCM writes
+	StallCycles  stats.Counter // cycles lost to write-queue pressure
+	Overflows    stats.Counter // minor-counter overflows (page re-encryption)
+	VerifyHashes stats.Counter // tree/MAC hash computations
+	PolicyCycles stats.Counter // cycles charged by policy hooks
+}
+
+// Controller is the secure memory controller. Not safe for concurrent
+// use; each simulated machine owns one.
+type Controller struct {
+	cfg      Config
+	dev      *scm.Device
+	eng      *cme.Engine
+	geo      bmt.Geometry
+	meta     *cache.Cache
+	buf      map[MetaKey]*[scm.BlockSize]byte
+	rootNV   [bmt.NodeSize]byte // level-1 node content, on-chip NV register
+	wq       *writeQueue
+	policy   Policy
+	zero     []uint64              // zero-subtree digests per level
+	zeroNode [][scm.BlockSize]byte // zero-node contents per inner level
+	st       Stats
+}
+
+// New builds a controller over dev with the given policy. The tree
+// geometry is derived from the device capacity; the root register is
+// initialized to the all-zero tree (the device starts zeroed).
+func New(dev *scm.Device, cfg Config, policy Policy) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		cfg: cfg,
+		dev: dev,
+		eng: cme.NewEngine(cfg.Hasher, cfg.Key),
+		geo: bmt.GeometryForCapacity(dev.Config().CapacityBytes),
+		buf: make(map[MetaKey]*[scm.BlockSize]byte),
+		wq:  newWriteQueue(cfg.WriteQueueDepth, cfg.WriteDrainCycles),
+	}
+	c.wq.noCoalesce = cfg.NoCoalesce
+	c.meta = cache.New(cache.Config{
+		Name:        "meta",
+		SizeBytes:   cfg.MetaCacheBytes,
+		LineBytes:   scm.BlockSize,
+		Assoc:       cfg.MetaAssoc,
+		HitCycles:   cfg.MetaHitCycles,
+		Replacement: cfg.MetaReplacement,
+	})
+	c.zero = bmt.ZeroDigests(c.eng, c.geo)
+	c.zeroNode = make([][scm.BlockSize]byte, c.geo.Levels)
+	for l := 1; l <= c.geo.Levels-1; l++ {
+		var node [scm.BlockSize]byte
+		for slot := 0; slot < bmt.Arity; slot++ {
+			bmt.SetChildDigest(node[:], slot, c.zero[l+1])
+		}
+		c.zeroNode[l] = node
+	}
+	c.rootNV = c.zeroNode[1]
+	c.policy = policy
+	policy.Attach(c)
+	return c
+}
+
+// Accessors used by policies, recovery, and the simulator.
+
+// Device returns the underlying SCM device.
+func (c *Controller) Device() *scm.Device { return c.dev }
+
+// Engine returns the crypto engine.
+func (c *Controller) Engine() *cme.Engine { return c.eng }
+
+// Geometry returns the BMT geometry.
+func (c *Controller) Geometry() bmt.Geometry { return c.geo }
+
+// MetaCache returns the metadata cache.
+func (c *Controller) MetaCache() *cache.Cache { return c.meta }
+
+// Policy returns the active persistence policy.
+func (c *Controller) Policy() Policy { return c.policy }
+
+// Stats returns the controller's counters.
+func (c *Controller) Stats() *Stats { return &c.st }
+
+// Config returns the controller configuration (with defaults applied).
+func (c *Controller) Config() Config { return c.cfg }
+
+// Root returns the current root register content (level-1 node).
+func (c *Controller) Root() [bmt.NodeSize]byte { return c.rootNV }
+
+// SetRoot overwrites the root register; recovery uses this after
+// validating a reconstructed tree.
+func (c *Controller) SetRoot(content [bmt.NodeSize]byte) { c.rootNV = content }
+
+// ZeroDigest returns the digest of an all-zero subtree at a level.
+func (c *Controller) ZeroDigest(level int) uint64 { return c.zero[level] }
+
+// --- metadata cache plumbing -----------------------------------------
+
+// wqKey composes a write-queue coalescing key from a device location.
+func wqKey(region scm.Region, idx uint64) uint64 {
+	return uint64(region)<<56 | idx
+}
+
+// postCharge enqueues a posted write and charges back-pressure plus
+// the fixed queue-insertion cost (free when the write coalesced).
+func (c *Controller) postCharge(now uint64, key uint64) uint64 {
+	stall, merged := c.wq.post(now, key)
+	if merged {
+		return stall
+	}
+	return stall + c.cfg.PostedWriteCycles
+}
+
+// readCharge converts a raw device read latency into the cycles
+// charged to the requester, applying the read-overlap divisor.
+func (c *Controller) readCharge(raw uint64) uint64 {
+	charged := raw / c.cfg.ReadOverlap
+	if charged == 0 {
+		charged = 1
+	}
+	return charged
+}
+
+// metaKeyFor maps a verified-tree node position to its cache key.
+// level must be in [2, Levels].
+func (c *Controller) metaKeyFor(level int, idx uint64) MetaKey {
+	if level == c.geo.Levels {
+		return CounterKey(idx)
+	}
+	return TreeKey(c.geo, level, idx)
+}
+
+// install inserts content for key into the metadata cache, writing
+// back any dirty victim. Returns cycles charged.
+func (c *Controller) install(now uint64, key MetaKey, content *[scm.BlockSize]byte, dirty bool) uint64 {
+	var cycles uint64
+	_, victim := c.meta.Access(uint64(key), dirty)
+	if victim != nil {
+		vk := MetaKey(victim.Key)
+		if victim.Dirty {
+			region, idx := vk.region()
+			c.dev.Write(region, idx, c.buf[vk][:])
+			cycles += c.postCharge(now+cycles, wqKey(region, idx))
+			c.st.PostedWrites.Inc()
+		}
+		delete(c.buf, vk)
+		cycles += c.policy.OnMetaEvict(now+cycles, vk, victim.Dirty)
+	}
+	c.buf[key] = content
+	cycles += c.policy.OnMetaFill(now+cycles, key)
+	return cycles
+}
+
+// FetchVerified returns trusted content for tree node (level, idx),
+// where level Levels addresses counter blocks. The returned slice
+// aliases controller state and is valid until the next operation.
+//
+// Trust is established by the first of: the root register (level 1),
+// a policy anchor (AMNT subtree register, BMF persistent roots), or
+// metadata cache residency; otherwise the block is fetched from the
+// device and authenticated against its (recursively trusted) parent.
+func (c *Controller) FetchVerified(now uint64, level int, idx uint64) ([]byte, uint64, error) {
+	if level == 1 {
+		return c.rootNV[:], 0, nil
+	}
+	if content, ok := c.policy.AnchorContent(level, idx); ok {
+		return content, 0, nil
+	}
+	key := c.metaKeyFor(level, idx)
+	cycles := c.cfg.MetaHitCycles
+	if c.meta.Probe(uint64(key)) {
+		c.meta.Access(uint64(key), false) // refresh LRU, count hit
+		return c.buf[key][:], cycles, nil
+	}
+	// Miss: fetch from the device and authenticate against the parent
+	// (the miss is recorded in cache stats when install allocates).
+	// An inner node never written is the zero-tree node for its level
+	// — a real system would find the boot-time initialized content
+	// there; the sparse device synthesizes it instead.
+	region, devIdx := key.region()
+	content := new([scm.BlockSize]byte)
+	if region == scm.Tree && !c.dev.Contains(region, devIdx) {
+		cycles += c.readCharge(c.dev.Config().ReadCycles)
+		*content = c.zeroNode[level]
+	} else {
+		cycles += c.readCharge(c.dev.Read(region, devIdx, content[:]))
+	}
+	c.st.MetaFetches.Inc()
+
+	pl, pi := bmt.Parent(level, idx)
+	parent, pc, err := c.FetchVerified(now+cycles, pl, pi)
+	cycles += pc
+	if err != nil {
+		return nil, cycles, err
+	}
+	want := bmt.ChildDigest(parent, bmt.ChildSlot(idx))
+	got := bmt.Hash(c.eng, level, content[:])
+	cycles += c.cfg.HashCycles
+	c.st.VerifyHashes.Inc()
+	if got != want {
+		return nil, cycles, &IntegrityError{What: fmt.Sprintf("%s node level %d", region, level), Addr: idx}
+	}
+	cycles += c.install(now+cycles, key, content, false)
+	return c.buf[key][:], cycles, nil
+}
+
+// fetchHMAC returns the (unverified — data MACs are self-checking)
+// HMAC block hmacIdx, caching it in the metadata cache.
+func (c *Controller) fetchHMAC(now uint64, hmacIdx uint64) ([]byte, uint64) {
+	key := HMACKey(hmacIdx)
+	cycles := c.cfg.MetaHitCycles
+	if c.meta.Probe(uint64(key)) {
+		c.meta.Access(uint64(key), false)
+		return c.buf[key][:], cycles
+	}
+	content := new([scm.BlockSize]byte)
+	cycles += c.readCharge(c.dev.Read(scm.HMAC, hmacIdx, content[:]))
+	c.st.MetaFetches.Inc()
+	cycles += c.install(now+cycles, key, content, false)
+	return c.buf[key][:], cycles
+}
+
+// FetchShadow accesses a protocol-private Shadow-region block through
+// the metadata cache (indirection tables, membership maps). Contents
+// are policy-managed; the controller provides caching and timing.
+func (c *Controller) FetchShadow(now uint64, idx uint64) uint64 {
+	key := MetaKey(kindShadowAux<<keyKindShift | idx)
+	cycles := c.cfg.MetaHitCycles
+	if c.meta.Probe(uint64(key)) {
+		c.meta.Access(uint64(key), false)
+		return cycles
+	}
+	content := new([scm.BlockSize]byte)
+	cycles += c.readCharge(c.dev.Read(scm.Shadow, idx, content[:]))
+	c.st.MetaFetches.Inc()
+	cycles += c.install(now+cycles, key, content, false)
+	return cycles
+}
+
+// markDirty flags a resident metadata block dirty after an in-cache
+// update.
+func (c *Controller) markDirty(key MetaKey) {
+	if l := c.meta.Lookup(uint64(key)); l != nil {
+		l.Dirty = true
+	}
+}
+
+// PersistMeta writes the cached content of key through to the device
+// and cleans its dirty bit. blocking selects strict (wait for
+// completion) versus posted (ADR-ordered) semantics. Returns cycles.
+func (c *Controller) PersistMeta(now uint64, key MetaKey, blocking bool) uint64 {
+	content, ok := c.buf[key]
+	if !ok {
+		return 0
+	}
+	region, idx := key.region()
+	c.dev.Write(region, idx, content[:])
+	c.meta.Clean(uint64(key))
+	if blocking {
+		c.st.SyncPersists.Inc()
+		return c.wq.block(now)
+	}
+	c.st.PostedWrites.Inc()
+	return c.postCharge(now, wqKey(region, idx))
+}
+
+// PostDeviceWrite enqueues a raw device write (data blocks, shadow
+// tables) through the timing queue. blocking as in PersistMeta.
+func (c *Controller) PostDeviceWrite(now uint64, region scm.Region, idx uint64, content []byte, blocking bool) uint64 {
+	c.dev.Write(region, idx, content)
+	if blocking {
+		c.st.SyncPersists.Inc()
+		return c.wq.block(now)
+	}
+	c.st.PostedWrites.Inc()
+	return c.postCharge(now, wqKey(region, idx))
+}
+
+// Barrier drains the write queue's ordering point: the caller waits
+// until a freshly admitted marker completes (AMNT uses this to make a
+// subtree movement durable before relaxing the new region).
+func (c *Controller) Barrier(now uint64) uint64 {
+	return c.wq.block(now)
+}
+
+// MergedWrites reports how many posted writes coalesced in the queue.
+func (c *Controller) MergedWrites() uint64 { return c.wq.mergedWrites() }
+
+// --- data path --------------------------------------------------------
+
+// dataAddr converts a data block index to its byte address for MAC
+// binding.
+func dataAddr(block uint64) uint64 { return block * scm.BlockSize }
+
+// hmacSlotsPerBlock is how many 8-byte MACs fit one HMAC block.
+const hmacSlotsPerBlock = scm.BlockSize / cme.MACSize
+
+// ReadBlock performs a verified read of data block b into dst
+// (BlockSize bytes), returning the latency in cycles. A block never
+// written reads as zeroes without verification (first touch).
+func (c *Controller) ReadBlock(now uint64, b uint64, dst []byte) (uint64, error) {
+	if len(dst) != scm.BlockSize {
+		panic("mee: ReadBlock buffer must be BlockSize bytes")
+	}
+	if b >= c.dev.DataBlocks() {
+		return 0, fmt.Errorf("mee: read of block %d beyond capacity (%d blocks)", b, c.dev.DataBlocks())
+	}
+	c.st.DataReads.Inc()
+	var cycles uint64
+	rc := c.policy.OnDataRead(now, b)
+	c.st.PolicyCycles.Add(rc)
+	cycles += rc
+	if !c.dev.Contains(scm.Data, b) {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return cycles + c.readCharge(c.dev.Config().ReadCycles), nil
+	}
+	ctrContent, cc, err := c.FetchVerified(now+cycles, c.geo.Levels, counters.CounterIndex(b))
+	cycles += cc
+	if err != nil {
+		return cycles, err
+	}
+	blk := counters.Decode(ctrContent)
+	major, minor := blk.Get(counters.MinorSlot(b))
+
+	var ct [scm.BlockSize]byte
+	cycles += c.readCharge(c.dev.Read(scm.Data, b, ct[:]))
+
+	hmacBlk, hc := c.fetchHMAC(now+cycles, b/hmacSlotsPerBlock)
+	cycles += hc
+	stored := bmt.ChildDigest(hmacBlk, int(b%hmacSlotsPerBlock))
+	computed := c.eng.MAC(dataAddr(b), major, minor, ct[:])
+	cycles += c.cfg.HashCycles
+	c.st.VerifyHashes.Inc()
+	if stored != computed {
+		return cycles, &IntegrityError{What: "data HMAC mismatch", Addr: dataAddr(b)}
+	}
+	c.eng.Decrypt(dataAddr(b), major, minor, dst, ct[:])
+	return cycles, nil
+}
+
+// WriteBlock performs an encrypted, integrity-maintained write of
+// plaintext src to data block b, applying the persistence policy to
+// every metadata update. Returns the latency in cycles.
+func (c *Controller) WriteBlock(now uint64, b uint64, src []byte) (uint64, error) {
+	if len(src) != scm.BlockSize {
+		panic("mee: WriteBlock buffer must be BlockSize bytes")
+	}
+	if b >= c.dev.DataBlocks() {
+		return 0, fmt.Errorf("mee: write of block %d beyond capacity (%d blocks)", b, c.dev.DataBlocks())
+	}
+	c.st.DataWrites.Inc()
+	var cycles uint64
+	pc := c.policy.OnDataWrite(now, b)
+	c.st.PolicyCycles.Add(pc)
+	cycles += pc
+
+	ctrIdx := counters.CounterIndex(b)
+	slot := counters.MinorSlot(b)
+	ctrContent, cc, err := c.FetchVerified(now+cycles, c.geo.Levels, ctrIdx)
+	cycles += cc
+	if err != nil {
+		return cycles, err
+	}
+	blk := counters.Decode(ctrContent)
+	old := blk
+	if blk.Bump(slot) {
+		c.st.Overflows.Inc()
+		rc, err := c.reencryptPage(now+cycles, ctrIdx, &old, &blk, b)
+		cycles += rc
+		if err != nil {
+			return cycles, err
+		}
+	}
+	major, minor := blk.Get(slot)
+
+	// Encrypt and post the data write.
+	var ct [scm.BlockSize]byte
+	c.eng.Encrypt(dataAddr(b), major, minor, ct[:], src)
+	cycles += c.PostDeviceWrite(now+cycles, scm.Data, b, ct[:], false)
+
+	// Update the data HMAC.
+	mac := c.eng.MAC(dataAddr(b), major, minor, ct[:])
+	cycles += c.cfg.HashCycles
+	c.st.VerifyHashes.Inc()
+	hmacIdx := b / hmacSlotsPerBlock
+	hmacBlk, hc := c.fetchHMAC(now+cycles, hmacIdx)
+	cycles += hc
+	bmt.SetChildDigest(hmacBlk, int(b%hmacSlotsPerBlock), mac)
+	hkey := HMACKey(hmacIdx)
+	c.markDirty(hkey)
+	if c.policy.WriteThroughHMAC(hmacIdx) {
+		cycles += c.PersistMeta(now+cycles, hkey, false)
+	}
+
+	// Update the counter block (refetch the pointer: HMAC handling may
+	// have evicted and re-resolved cache state).
+	ctrContent, cc, err = c.FetchVerified(now+cycles, c.geo.Levels, ctrIdx)
+	cycles += cc
+	if err != nil {
+		return cycles, err
+	}
+	blk.Encode(ctrContent)
+	ckey := CounterKey(ctrIdx)
+	c.markDirty(ckey)
+	if c.policy.WriteThroughCounter(ctrIdx) {
+		cycles += c.PersistMeta(now+cycles, ckey, false)
+	}
+
+	// Walk the ancestral path to the root, updating digests.
+	childDigest := bmt.Hash(c.eng, c.geo.Levels, ctrContent)
+	cycles += c.cfg.HashCycles
+	c.st.VerifyHashes.Inc()
+	childIdx := ctrIdx
+	for level := c.geo.Levels - 1; level >= 2; level-- {
+		idx := childIdx >> 3
+		content, fc, err := c.FetchVerified(now+cycles, level, idx)
+		cycles += fc
+		if err != nil {
+			return cycles, err
+		}
+		bmt.SetChildDigest(content, bmt.ChildSlot(childIdx), childDigest)
+		key := TreeKey(c.geo, level, idx)
+		c.markDirty(key)
+		pc := c.policy.OnTreeUpdate(now+cycles, level, idx, content)
+		c.st.PolicyCycles.Add(pc)
+		cycles += pc
+		if c.policy.WriteThroughTree(level, idx) {
+			cycles += c.PersistMeta(now+cycles, key, true)
+		}
+		childDigest = bmt.Hash(c.eng, level, content)
+		cycles += c.cfg.HashCycles
+		c.st.VerifyHashes.Inc()
+		childIdx = idx
+	}
+	bmt.SetChildDigest(c.rootNV[:], bmt.ChildSlot(childIdx), childDigest)
+	pc = c.policy.OnWriteComplete(now+cycles, b)
+	c.st.PolicyCycles.Add(pc)
+	cycles += pc
+	return cycles, nil
+}
+
+// reencryptPage handles a minor-counter overflow: every initialized
+// block in the page is re-encrypted under the new major counter and
+// its MAC refreshed. skip identifies the block being overwritten by
+// the caller (its old content need not survive, but it is refreshed
+// anyway for uniformity).
+func (c *Controller) reencryptPage(now uint64, ctrIdx uint64, old, fresh *counters.Block, skip uint64) (uint64, error) {
+	var cycles uint64
+	first := counters.PageFirstBlock(ctrIdx)
+	var ct, pt [scm.BlockSize]byte
+	for j := uint64(0); j < counters.BlocksPerPage; j++ {
+		db := first + j
+		if !c.dev.Contains(scm.Data, db) {
+			continue
+		}
+		cycles += c.readCharge(c.dev.Read(scm.Data, db, ct[:]))
+		oldMajor, oldMinor := old.Get(int(j))
+		if db != skip {
+			// Verify with the old MAC before trusting the ciphertext.
+			hmacBlk, hc := c.fetchHMAC(now+cycles, db/hmacSlotsPerBlock)
+			cycles += hc
+			stored := bmt.ChildDigest(hmacBlk, int(db%hmacSlotsPerBlock))
+			if stored != c.eng.MAC(dataAddr(db), oldMajor, oldMinor, ct[:]) {
+				return cycles, &IntegrityError{What: "re-encryption HMAC mismatch", Addr: dataAddr(db)}
+			}
+			cycles += c.cfg.HashCycles
+			c.st.VerifyHashes.Inc()
+		}
+		c.eng.Decrypt(dataAddr(db), oldMajor, oldMinor, pt[:], ct[:])
+		newMajor, newMinor := fresh.Get(int(j))
+		c.eng.Encrypt(dataAddr(db), newMajor, newMinor, ct[:], pt[:])
+		cycles += c.PostDeviceWrite(now+cycles, scm.Data, db, ct[:], false)
+		mac := c.eng.MAC(dataAddr(db), newMajor, newMinor, ct[:])
+		cycles += c.cfg.HashCycles
+		c.st.VerifyHashes.Inc()
+		hmacBlk, hc := c.fetchHMAC(now+cycles, db/hmacSlotsPerBlock)
+		cycles += hc
+		bmt.SetChildDigest(hmacBlk, int(db%hmacSlotsPerBlock), mac)
+		hkey := HMACKey(db / hmacSlotsPerBlock)
+		c.markDirty(hkey)
+		if c.policy.WriteThroughHMAC(db / hmacSlotsPerBlock) {
+			cycles += c.PersistMeta(now+cycles, hkey, false)
+		}
+	}
+	return cycles, nil
+}
+
+// --- lifecycle --------------------------------------------------------
+
+// Flush writes back every dirty metadata block (a clean shutdown).
+func (c *Controller) Flush(now uint64) uint64 {
+	var cycles uint64
+	for _, k := range c.meta.FlushDirty(nil) {
+		key := MetaKey(k)
+		region, idx := key.region()
+		c.dev.Write(region, idx, c.buf[key][:])
+		cycles += c.postCharge(now+cycles, wqKey(region, idx))
+		c.st.PostedWrites.Inc()
+	}
+	return cycles
+}
+
+// PreCrasher is an optional policy extension: PreCrash runs at power
+// failure *before* volatile state is lost, with whatever energy
+// budget the platform's battery/capacitors provide. Battery-backed
+// designs (the paper's §7.2 related work) flush dirty metadata here.
+type PreCrasher interface {
+	PreCrash(now uint64) uint64
+}
+
+// Crash models a power failure: all volatile state (metadata cache
+// and its contents, write-queue timing, policy volatile state) is
+// lost; the device and NV registers survive. A PreCrasher policy gets
+// its residual-energy window first.
+func (c *Controller) Crash() {
+	if p, ok := c.policy.(PreCrasher); ok {
+		p.PreCrash(0)
+	}
+	c.meta.InvalidateAll()
+	c.buf = make(map[MetaKey]*[scm.BlockSize]byte)
+	c.wq.reset()
+	c.policy.Crash()
+}
+
+// Recover runs the active policy's crash recovery procedure.
+func (c *Controller) Recover(now uint64) (RecoveryReport, error) {
+	return c.policy.Recover(now)
+}
+
+// VerifyAll reads back and authenticates every initialized data block;
+// it is the whole-memory integrity check used by attack and recovery
+// tests. Returns the first violation encountered.
+func (c *Controller) VerifyAll(now uint64) error {
+	var buf [scm.BlockSize]byte
+	for _, b := range c.dev.Indices(scm.Data) {
+		if _, err := c.ReadBlock(now, b, buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DirtyTreeKeys returns the tree-node keys currently dirty in the
+// metadata cache, optionally filtered; AMNT's subtree movement scan.
+func (c *Controller) DirtyTreeKeys(filter func(level int, idx uint64) bool) []MetaKey {
+	raw := c.meta.DirtyKeys(func(k uint64) bool {
+		key := MetaKey(k)
+		if !key.IsTree() {
+			return false
+		}
+		if filter == nil {
+			return true
+		}
+		level, idx := key.TreeNode(c.geo)
+		return filter(level, idx)
+	})
+	out := make([]MetaKey, len(raw))
+	for i, k := range raw {
+		out[i] = MetaKey(k)
+	}
+	return out
+}
+
+// DropCached removes a metadata block from the cache without writing
+// it back. AMNT uses this when a node is promoted into the NV subtree
+// register, which becomes its single source of truth.
+func (c *Controller) DropCached(key MetaKey) {
+	c.meta.Invalidate(uint64(key))
+	delete(c.buf, key)
+}
+
+// CachedContent returns the cached bytes of a metadata block, if
+// resident. The slice aliases controller state.
+func (c *Controller) CachedContent(key MetaKey) ([]byte, bool) {
+	b, ok := c.buf[key]
+	if !ok {
+		return nil, false
+	}
+	return b[:], true
+}

@@ -1,0 +1,14 @@
+package mee
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// errShortNV reports a truncated NV snapshot blob.
+var errShortNV = errors.New("mee: truncated NV snapshot")
+
+func binaryPutUint32(p []byte, v uint32) { binary.LittleEndian.PutUint32(p, v) }
+func binaryUint32(p []byte) uint32       { return binary.LittleEndian.Uint32(p) }
+func binaryPutUint64(p []byte, v uint64) { binary.LittleEndian.PutUint64(p, v) }
+func binaryUint64(p []byte) uint64       { return binary.LittleEndian.Uint64(p) }

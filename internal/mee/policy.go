@@ -1,0 +1,368 @@
+package mee
+
+import (
+	"sort"
+
+	"amnt/internal/bmt"
+	"amnt/internal/cme"
+	"amnt/internal/counters"
+	"amnt/internal/scm"
+)
+
+// Policy is a metadata persistence protocol. The controller consults
+// the policy on every metadata update to decide write-through versus
+// writeback, calls its hooks on data writes and metadata cache events
+// (where protocols like Anubis and AMNT do their bookkeeping), and
+// delegates crash recovery to it.
+type Policy interface {
+	// Name identifies the protocol ("amnt", "anubis", ...).
+	Name() string
+	// Attach hands the policy its controller, once, at construction.
+	Attach(c *Controller)
+	// WriteThroughCounter reports whether the updated counter block
+	// must be persisted (posted, ADR-ordered) on this write.
+	WriteThroughCounter(counterIdx uint64) bool
+	// WriteThroughHMAC likewise for the data-HMAC block.
+	WriteThroughHMAC(hmacIdx uint64) bool
+	// WriteThroughTree reports whether an updated inner tree node must
+	// be written through synchronously (blocking) on this write.
+	WriteThroughTree(level int, idx uint64) bool
+	// OnDataWrite runs once per data-block write before metadata
+	// updates; returns extra cycles (AMNT hot-region tracking).
+	OnDataWrite(now uint64, dataBlock uint64) uint64
+	// OnDataRead runs once per data-block read before verification;
+	// indirection-based protocols charge their membership lookup here.
+	OnDataRead(now uint64, dataBlock uint64) uint64
+	// OnTreeUpdate runs after an inner node's content is updated in
+	// the cache (AMNT subtree register, BMF persistent-root copies).
+	OnTreeUpdate(now uint64, level int, idx uint64, content []byte) uint64
+	// OnMetaFill runs when a metadata block enters the cache.
+	OnMetaFill(now uint64, key MetaKey) uint64
+	// OnMetaEvict runs when a metadata block leaves the cache.
+	OnMetaEvict(now uint64, key MetaKey, dirty bool) uint64
+	// OnWriteComplete runs at the end of every data-block write, after
+	// all metadata updates (PLP places its single persist barrier
+	// here).
+	OnWriteComplete(now uint64, dataBlock uint64) uint64
+	// AnchorContent returns trusted content for (level, idx) if the
+	// policy holds it in on-chip NV state (BMF roots, AMNT subtree).
+	AnchorContent(level int, idx uint64) ([]byte, bool)
+	// Crash drops the policy's volatile state.
+	Crash()
+	// Recover re-establishes a trusted tree after Crash.
+	Recover(now uint64) (RecoveryReport, error)
+	// Overhead reports the protocol's extra hardware (Table 3).
+	Overhead() Overhead
+}
+
+// Overhead is the additional hardware a protocol requires beyond the
+// baseline metadata cache and BMT root register (the paper's Table 3).
+type Overhead struct {
+	NVOnChipBytes  uint64
+	VolOnChipBytes uint64
+	InMemoryBytes  uint64
+}
+
+// RecoveryReport describes the work a recovery performed.
+type RecoveryReport struct {
+	Protocol string
+	// CounterReads is the number of counter blocks fetched.
+	CounterReads uint64
+	// DataReads is the number of data blocks fetched (Osiris).
+	DataReads uint64
+	// NodeWrites is the number of tree nodes recomputed and persisted.
+	NodeWrites uint64
+	// ShadowReads is the number of shadow-table blocks read (Anubis).
+	ShadowReads uint64
+	// StaleFraction is the fraction of the tree that had to be
+	// reconstructed (1.0 for leaf, 0 for strict, 1/regions for AMNT).
+	StaleFraction float64
+	// Cycles is the simulated device time spent recovering.
+	Cycles uint64
+}
+
+// base provides no-op defaults for optional hooks; concrete policies
+// embed it.
+type base struct {
+	ctrl *Controller
+}
+
+func (b *base) Attach(c *Controller) { b.ctrl = c }
+
+func (b *base) OnDataWrite(uint64, uint64) uint64 { return 0 }
+
+func (b *base) OnDataRead(uint64, uint64) uint64 { return 0 }
+
+func (b *base) OnTreeUpdate(uint64, int, uint64, []byte) uint64 { return 0 }
+
+func (b *base) OnMetaFill(uint64, MetaKey) uint64 { return 0 }
+
+func (b *base) OnMetaEvict(uint64, MetaKey, bool) uint64 { return 0 }
+
+func (b *base) OnWriteComplete(uint64, uint64) uint64 { return 0 }
+
+func (b *base) AnchorContent(int, uint64) ([]byte, bool) { return nil, false }
+
+func (b *base) Crash() {}
+
+func (b *base) Overhead() Overhead { return Overhead{} }
+
+// rebuildAndAdopt reconstructs the whole tree from persisted counters,
+// compares the result against the NV root register, and (on match)
+// leaves the device's Tree region fully up to date. It is the shared
+// recovery mechanism of the leaf-style protocols.
+func (b *base) rebuildAndAdopt(name string) (RecoveryReport, error) {
+	c := b.ctrl
+	res := bmt.Rebuild(c.Device(), c.Engine(), c.Geometry(), 1, 0, true)
+	rep := RecoveryReport{
+		Protocol:      name,
+		CounterReads:  res.CounterReads,
+		NodeWrites:    res.NodeWrites,
+		StaleFraction: 1.0,
+		Cycles:        res.Cycles,
+	}
+	if res.Content != c.Root() {
+		return rep, &IntegrityError{What: name + " recovery root mismatch", Addr: 0}
+	}
+	return rep, nil
+}
+
+// --- Volatile ---------------------------------------------------------
+
+// Volatile is the writeback secure-memory baseline the paper
+// normalizes to: no metadata persistence at all. It is fast and not
+// crash consistent — recovery fails whenever dirty metadata was lost.
+type Volatile struct{ base }
+
+// NewVolatile returns the volatile baseline policy.
+func NewVolatile() *Volatile { return &Volatile{} }
+
+// Name implements Policy.
+func (*Volatile) Name() string { return "volatile" }
+
+// WriteThroughCounter implements Policy.
+func (*Volatile) WriteThroughCounter(uint64) bool { return false }
+
+// WriteThroughHMAC implements Policy.
+func (*Volatile) WriteThroughHMAC(uint64) bool { return false }
+
+// WriteThroughTree implements Policy.
+func (*Volatile) WriteThroughTree(int, uint64) bool { return false }
+
+// Recover implements Policy. It attempts a full rebuild; unless the
+// crash happened with a clean metadata cache this fails, demonstrating
+// why volatile secure memory cannot be retrofitted onto SCM.
+func (v *Volatile) Recover(uint64) (RecoveryReport, error) {
+	return v.rebuildAndAdopt(v.Name())
+}
+
+// --- Strict -----------------------------------------------------------
+
+// Strict persists every metadata update through to SCM synchronously.
+// Trivial recovery, steep runtime cost (the paper's upper baseline).
+type Strict struct{ base }
+
+// NewStrict returns the strict persistence policy.
+func NewStrict() *Strict { return &Strict{} }
+
+// Name implements Policy.
+func (*Strict) Name() string { return "strict" }
+
+// WriteThroughCounter implements Policy.
+func (*Strict) WriteThroughCounter(uint64) bool { return true }
+
+// WriteThroughHMAC implements Policy.
+func (*Strict) WriteThroughHMAC(uint64) bool { return true }
+
+// WriteThroughTree implements Policy.
+func (*Strict) WriteThroughTree(int, uint64) bool { return true }
+
+// Recover implements Policy: nothing is stale; the report shows zero
+// reconstruction. The tree is validated against the root register.
+func (s *Strict) Recover(uint64) (RecoveryReport, error) {
+	c := s.ctrl
+	res := bmt.Rebuild(c.Device(), c.Engine(), c.Geometry(), 1, 0, false)
+	rep := RecoveryReport{Protocol: s.Name(), StaleFraction: 0}
+	if res.Content != c.Root() {
+		return rep, &IntegrityError{What: "strict recovery root mismatch", Addr: 0}
+	}
+	return rep, nil
+}
+
+// --- Leaf -------------------------------------------------------------
+
+// Leaf persists counters and HMACs atomically with data, leaving the
+// inner tree to writeback; after a crash the whole tree is rebuilt
+// from the leaves (the paper's lower baseline).
+type Leaf struct{ base }
+
+// NewLeaf returns the leaf persistence policy.
+func NewLeaf() *Leaf { return &Leaf{} }
+
+// Name implements Policy.
+func (*Leaf) Name() string { return "leaf" }
+
+// WriteThroughCounter implements Policy.
+func (*Leaf) WriteThroughCounter(uint64) bool { return true }
+
+// WriteThroughHMAC implements Policy.
+func (*Leaf) WriteThroughHMAC(uint64) bool { return true }
+
+// WriteThroughTree implements Policy.
+func (*Leaf) WriteThroughTree(int, uint64) bool { return false }
+
+// Recover implements Policy with a full bottom-up reconstruction.
+func (l *Leaf) Recover(uint64) (RecoveryReport, error) {
+	return l.rebuildAndAdopt(l.Name())
+}
+
+// --- Osiris -----------------------------------------------------------
+
+// Osiris relaxes leaf persistence with a stop-loss: a counter block is
+// only persisted on every Nth update, so a crashed counter is at most
+// N bumps stale and is recovered by replaying candidate counters
+// against the (always persisted) data HMAC.
+type Osiris struct {
+	base
+	// N is the stop-loss interval.
+	N uint64
+	// pending counts unpersisted updates per counter block (volatile).
+	pending map[uint64]uint64
+}
+
+// NewOsiris returns an Osiris policy with stop-loss interval n
+// (the original work uses 4).
+func NewOsiris(n uint64) *Osiris {
+	if n == 0 {
+		n = 4
+	}
+	return &Osiris{N: n, pending: make(map[uint64]uint64)}
+}
+
+// Name implements Policy.
+func (*Osiris) Name() string { return "osiris" }
+
+// WriteThroughCounter implements Policy: persist on every Nth update.
+func (o *Osiris) WriteThroughCounter(counterIdx uint64) bool {
+	o.pending[counterIdx]++
+	if o.pending[counterIdx] >= o.N {
+		o.pending[counterIdx] = 0
+		return true
+	}
+	return false
+}
+
+// WriteThroughHMAC implements Policy. HMACs must be fresh in SCM for
+// the stop-loss replay to identify the correct counter.
+func (*Osiris) WriteThroughHMAC(uint64) bool { return true }
+
+// WriteThroughTree implements Policy.
+func (*Osiris) WriteThroughTree(int, uint64) bool { return false }
+
+// Crash implements Policy.
+func (o *Osiris) Crash() { o.pending = make(map[uint64]uint64) }
+
+// Recover implements Policy: replay candidate counters against data
+// HMACs to restore the freshest counter values, then rebuild the tree.
+func (o *Osiris) Recover(now uint64) (RecoveryReport, error) {
+	c := o.ctrl
+	dev := c.Device()
+	eng := c.Engine()
+	rep := RecoveryReport{Protocol: o.Name(), StaleFraction: 1.0}
+
+	// Derive the page set from initialized data: with the stop-loss a
+	// counter block with fewer than N lifetime updates may never have
+	// been persisted at all — its device copy is the (valid) zero
+	// state, and the replay below advances it to the live value.
+	pages := make(map[uint64]bool)
+	for _, db := range dev.Indices(scm.Data) {
+		pages[counters.CounterIndex(db)] = true
+	}
+	pageList := make([]uint64, 0, len(pages))
+	for p := range pages {
+		pageList = append(pageList, p)
+	}
+	sort.Slice(pageList, func(i, j int) bool { return pageList[i] < pageList[j] })
+
+	var ctrRaw, ct, hm [scm.BlockSize]byte
+	for _, ctrIdx := range pageList {
+		rep.Cycles += dev.Read(scm.Counter, ctrIdx, ctrRaw[:])
+		rep.CounterReads++
+		// Replay every slot against the original (possibly stale)
+		// decoded counters, collecting corrections, then apply them
+		// together: a major bump found by one slot applies to the
+		// whole page (overflow re-encrypts the page atomically).
+		orig := counters.Decode(ctrRaw[:])
+		fixed := orig
+		changed := false
+		first := counters.PageFirstBlock(ctrIdx)
+		for j := uint64(0); j < counters.BlocksPerPage; j++ {
+			db := first + j
+			if !dev.Contains(scm.Data, db) {
+				continue
+			}
+			rep.Cycles += dev.Read(scm.Data, db, ct[:])
+			rep.DataReads++
+			rep.Cycles += dev.Read(scm.HMAC, db/hmacSlotsPerBlock, hm[:])
+			stored := bmt.ChildDigest(hm[:], int(db%hmacSlotsPerBlock))
+			major, minor := orig.Get(int(j))
+			cand, ok := o.replayCounter(eng, db, major, minor, stored, ct[:])
+			if !ok {
+				return rep, &IntegrityError{What: "osiris: no counter candidate matches HMAC", Addr: dataAddr(db)}
+			}
+			if cand.major != major || cand.minor != minor {
+				fixed.Major = cand.major
+				fixed.Minors[j] = cand.minor
+				changed = true
+			}
+		}
+		if changed {
+			fixed.Encode(ctrRaw[:])
+			rep.Cycles += dev.Write(scm.Counter, ctrIdx, ctrRaw[:])
+		}
+	}
+
+	res := bmt.Rebuild(dev, eng, c.Geometry(), 1, 0, true)
+	rep.NodeWrites = res.NodeWrites
+	rep.Cycles += res.Cycles
+	if res.Content != c.Root() {
+		return rep, &IntegrityError{What: "osiris recovery root mismatch", Addr: 0}
+	}
+	return rep, nil
+}
+
+type counterCand struct {
+	major uint64
+	minor uint8
+}
+
+// replayCounter searches the stop-loss window for the counter under
+// which the stored HMAC authenticates the ciphertext.
+func (o *Osiris) replayCounter(eng *cme.Engine, db, major uint64, minor uint8, stored uint64, ct []byte) (counterCand, bool) {
+	for k := uint64(0); k <= o.N; k++ {
+		m := uint64(minor) + k
+		if m <= counters.MinorMax {
+			if eng.MAC(dataAddr(db), major, uint8(m), ct) == stored {
+				return counterCand{major, uint8(m)}, true
+			}
+		}
+	}
+	// The minor may have wrapped into a major bump within the window.
+	for k := uint64(0); k <= o.N; k++ {
+		if eng.MAC(dataAddr(db), major+1, uint8(k), ct) == stored {
+			return counterCand{major + 1, uint8(k)}, true
+		}
+	}
+	return counterCand{}, false
+}
+
+// Overhead implements Policy: Osiris adds no extra on-chip structures
+// beyond a small persist counter per cached line, which we fold into
+// the volatile figure (one byte per metadata cache line).
+func (o *Osiris) Overhead() Overhead {
+	lines := uint64(0)
+	if o.ctrl != nil {
+		lines = uint64(o.ctrl.MetaCache().Lines())
+	}
+	return Overhead{VolOnChipBytes: lines}
+}

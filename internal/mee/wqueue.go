@@ -1,0 +1,131 @@
+package mee
+
+// writeQueue models the SCM write path: a bounded queue of in-flight
+// writes drained at a fixed service rate, with address coalescing —
+// a write to an address that is already pending merges into the
+// existing entry, exactly as an ADR-covered write-pending queue
+// combines repeated updates to the same metadata block. Posted writes
+// stall the CPU only when the queue is full; blocking persists
+// (strict-path tree writes, Anubis shadow-table updates) additionally
+// wait for their own completion, which is what makes strict
+// persistence expensive on write-intensive workloads while leaf-style
+// counter/HMAC persists stay nearly free.
+type writeQueue struct {
+	depth       int
+	drainCycles uint64
+	noCoalesce  bool
+	// entries holds in-flight writes in FIFO completion order.
+	entries []wqEntry
+	// pending counts in-flight writes per address key.
+	pending  map[uint64]int
+	lastDone uint64
+	merged   uint64
+}
+
+type wqEntry struct {
+	done uint64
+	key  uint64
+	// tracked is false for barrier entries with no address.
+	tracked bool
+}
+
+func newWriteQueue(depth int, drainCycles uint64) *writeQueue {
+	if depth <= 0 {
+		depth = 1
+	}
+	return &writeQueue{depth: depth, drainCycles: drainCycles, pending: make(map[uint64]int)}
+}
+
+// retire drops entries completed by now.
+func (q *writeQueue) retire(now uint64) {
+	i := 0
+	for i < len(q.entries) && q.entries[i].done <= now {
+		q.dropPending(q.entries[i])
+		i++
+	}
+	if i > 0 {
+		q.entries = append(q.entries[:0], q.entries[i:]...)
+	}
+}
+
+func (q *writeQueue) dropPending(e wqEntry) {
+	if !e.tracked {
+		return
+	}
+	if n := q.pending[e.key]; n <= 1 {
+		delete(q.pending, e.key)
+	} else {
+		q.pending[e.key] = n - 1
+	}
+}
+
+// post enqueues a write to key at absolute time now, returning stall
+// cycles (non-zero only on queue back-pressure) and whether the write
+// coalesced into an already-pending entry for the same address.
+func (q *writeQueue) post(now uint64, key uint64) (stall uint64, merged bool) {
+	q.retire(now)
+	if !q.noCoalesce && q.pending[key] > 0 {
+		q.merged++
+		return 0, true
+	}
+	stall, _ = q.admit(now, key, true)
+	return stall, false
+}
+
+// block enqueues a write at time now and waits for its completion,
+// returning the total cycles until it is durable.
+func (q *writeQueue) block(now uint64) (wait uint64) {
+	q.retire(now)
+	stall, done := q.admit(now, 0, false)
+	completion := now + stall
+	if done > completion {
+		return done - now
+	}
+	return stall
+}
+
+// admit performs the shared enqueue logic.
+func (q *writeQueue) admit(now uint64, key uint64, tracked bool) (stall, done uint64) {
+	if len(q.entries) >= q.depth {
+		head := q.entries[0]
+		stall = head.done - now
+		now = head.done
+		q.dropPending(head)
+		q.entries = q.entries[1:]
+	}
+	start := now
+	if q.lastDone > start {
+		start = q.lastDone
+	}
+	done = start + q.drainCycles
+	q.lastDone = done
+	q.entries = append(q.entries, wqEntry{done: done, key: key, tracked: tracked})
+	if tracked {
+		q.pending[key]++
+	}
+	return stall, done
+}
+
+// pendingCount returns the number of in-flight writes at time now.
+func (q *writeQueue) pendingCount(now uint64) int {
+	n := 0
+	for _, e := range q.entries {
+		if e.done > now {
+			n++
+		}
+	}
+	return n
+}
+
+// mergedWrites returns how many posted writes coalesced into pending
+// entries.
+func (q *writeQueue) mergedWrites() uint64 { return q.merged }
+
+// reset clears all in-flight state (crash: queued writes in our
+// functional model were already applied to the device at issue time,
+// so reset only affects timing).
+func (q *writeQueue) reset() {
+	q.entries = q.entries[:0]
+	q.pending = make(map[uint64]int)
+	q.lastDone = 0
+}

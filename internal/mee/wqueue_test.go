@@ -1,0 +1,100 @@
+package mee
+
+import "testing"
+
+func TestWriteQueuePostNoPressure(t *testing.T) {
+	q := newWriteQueue(4, 100)
+	if stall, _ := q.post(0, 1); stall != 0 {
+		t.Fatalf("first post stalled %d cycles", stall)
+	}
+	if stall, _ := q.post(10, 2); stall != 0 {
+		t.Fatalf("second post stalled %d cycles", stall)
+	}
+	if q.pendingCount(10) != 2 {
+		t.Fatalf("pending = %d, want 2", q.pendingCount(10))
+	}
+}
+
+func TestWriteQueueFullStalls(t *testing.T) {
+	q := newWriteQueue(2, 100)
+	q.post(0, 1) // completes at 100
+	q.post(0, 2) // completes at 200
+	stall, _ := q.post(0, 3)
+	if stall != 100 {
+		t.Fatalf("stall = %d, want 100 (until the oldest drains)", stall)
+	}
+}
+
+func TestWriteQueueCoalescing(t *testing.T) {
+	q := newWriteQueue(2, 100)
+	q.post(0, 7)
+	// A second write to the same pending address merges for free even
+	// though the queue would otherwise be at capacity soon.
+	if stall, merged := q.post(0, 7); stall != 0 || !merged {
+		t.Fatalf("coalesced write: stall=%d merged=%v", stall, merged)
+	}
+	if q.mergedWrites() != 1 {
+		t.Fatalf("merged = %d, want 1", q.mergedWrites())
+	}
+	if q.pendingCount(0) != 1 {
+		t.Fatalf("pending = %d, want 1 (merged)", q.pendingCount(0))
+	}
+	// Once drained, the same address enqueues afresh.
+	if _, merged := q.post(1000, 7); merged {
+		t.Fatal("post after drain should not merge")
+	}
+}
+
+func TestWriteQueueDrainsOverTime(t *testing.T) {
+	q := newWriteQueue(2, 100)
+	q.post(0, 1)
+	q.post(0, 2)
+	// At time 500 everything has drained; no stall.
+	if stall, _ := q.post(500, 3); stall != 0 {
+		t.Fatalf("stall after drain = %d", stall)
+	}
+	if q.pendingCount(500) != 1 {
+		t.Fatalf("pending = %d, want 1", q.pendingCount(500))
+	}
+}
+
+func TestWriteQueueBlockWaitsForCompletion(t *testing.T) {
+	q := newWriteQueue(8, 100)
+	wait := q.block(0)
+	if wait != 100 {
+		t.Fatalf("blocking write wait = %d, want 100", wait)
+	}
+	// Back-to-back blocking writes serialize on the drain rate.
+	wait = q.block(100)
+	if wait != 100 {
+		t.Fatalf("second blocking wait = %d, want 100", wait)
+	}
+	// A blocking write behind a posted backlog waits for its turn.
+	q2 := newWriteQueue(8, 100)
+	q2.post(0, 1)
+	q2.post(0, 2)
+	wait = q2.block(0)
+	if wait != 300 {
+		t.Fatalf("blocked behind backlog wait = %d, want 300", wait)
+	}
+}
+
+func TestWriteQueueReset(t *testing.T) {
+	q := newWriteQueue(2, 100)
+	q.post(0, 1)
+	q.post(0, 2)
+	q.reset()
+	if q.pendingCount(0) != 0 {
+		t.Fatal("pending after reset")
+	}
+	if stall, _ := q.post(0, 1); stall != 0 {
+		t.Fatal("stall after reset")
+	}
+}
+
+func TestWriteQueueZeroDepthClamped(t *testing.T) {
+	q := newWriteQueue(0, 10)
+	if q.depth != 1 {
+		t.Fatalf("depth = %d, want clamp to 1", q.depth)
+	}
+}

@@ -1,0 +1,24 @@
+package recovery_test
+
+import (
+	"fmt"
+	"time"
+
+	"amnt/internal/recovery"
+)
+
+// The administrator's question from §6.7: what does recovery cost at
+// my memory size, and which subtree level fits my downtime budget?
+func ExampleModel() {
+	m := recovery.DefaultModel()
+	mem := uint64(2e12) // a 2 TB SCM node
+	fmt.Printf("leaf rebuild: %v\n", m.Leaf(mem).Round(time.Millisecond))
+	fmt.Printf("amnt level 3: %v\n", m.AMNT(mem, 3).Round(time.Millisecond))
+	fmt.Printf("amnt level 4: %v\n", m.AMNT(mem, 4).Round(time.Millisecond))
+	fmt.Printf("stale at L3:  %.2f%%\n", 100*recovery.StaleFraction("amnt", 3))
+	// Output:
+	// leaf rebuild: 6.324s
+	// amnt level 3: 99ms
+	// amnt level 4: 12ms
+	// stale at L3:  1.56%
+}

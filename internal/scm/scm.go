@@ -1,0 +1,253 @@
+// Package scm models the storage-class memory (PCM) device: a
+// non-volatile, byte-retentive store of 64-byte blocks organized into
+// regions (application data, encryption counters, data HMACs, BMT
+// nodes, and protocol-private areas such as Anubis's shadow table),
+// with the DDR-based PCM timing from the paper's Table 1.
+//
+// The device is functional — every block holds real bytes that survive
+// a simulated crash — and carries timing: each access reports its cost
+// in CPU cycles, which the caller accumulates. A Tamper API lets the
+// attack tests corrupt, replay, and splice blocks exactly as the
+// paper's threat model allows a physical attacker to.
+package scm
+
+import (
+	"fmt"
+
+	"amnt/internal/stats"
+)
+
+// BlockSize is the device access granularity in bytes.
+const BlockSize = 64
+
+// Region identifies a logical area of the SCM address space. Real
+// hardware lays these out contiguously in one physical address space;
+// the simulator keeps them as separate namespaces so geometry changes
+// never require re-deriving base offsets.
+type Region int
+
+// Regions of the SCM device.
+const (
+	Data    Region = iota // application data (ciphertext)
+	Counter               // split-counter blocks (BMT leaves)
+	HMAC                  // per-block data HMACs
+	Tree                  // BMT inner nodes
+	Shadow                // protocol-private (e.g. Anubis shadow table)
+	numRegions
+)
+
+var regionNames = [...]string{"data", "counter", "hmac", "tree", "shadow"}
+
+func (r Region) String() string {
+	if r < 0 || int(r) >= len(regionNames) {
+		return fmt.Sprintf("region(%d)", int(r))
+	}
+	return regionNames[r]
+}
+
+// Config holds device geometry and timing. Latencies are in CPU
+// cycles; DefaultConfig derives them from the paper's 305 ns read /
+// 391 ns write at 2 GHz.
+type Config struct {
+	// CapacityBytes is the size of the data region. Metadata regions
+	// are sized implicitly by the structures stored in them.
+	CapacityBytes uint64
+	// ReadCycles is the cost of a 64 B read from the device.
+	ReadCycles uint64
+	// WriteCycles is the cost of a 64 B write (persist) to the device.
+	WriteCycles uint64
+}
+
+// Paper Table 1 timing at a 2 GHz core clock.
+const (
+	// DefaultReadCycles is 305 ns at 2 GHz.
+	DefaultReadCycles = 610
+	// DefaultWriteCycles is 391 ns at 2 GHz.
+	DefaultWriteCycles = 782
+	// DefaultCapacity is the paper's 8 GB PCM.
+	DefaultCapacity = 8 << 30
+)
+
+// DefaultConfig returns the paper's Table 1 device configuration.
+func DefaultConfig() Config {
+	return Config{
+		CapacityBytes: DefaultCapacity,
+		ReadCycles:    DefaultReadCycles,
+		WriteCycles:   DefaultWriteCycles,
+	}
+}
+
+// Stats aggregates device traffic. Reads/Writes count block accesses.
+type Stats struct {
+	Reads  stats.Counter
+	Writes stats.Counter
+	// RegionReads/RegionWrites break traffic down by region.
+	RegionReads  [numRegions]stats.Counter
+	RegionWrites [numRegions]stats.Counter
+}
+
+// Device is a simulated SCM DIMM. Storage is sparse: blocks never
+// written read as zero and are reported as absent by Contains (the
+// memory controller uses absence to detect first-touch blocks).
+type Device struct {
+	cfg   Config
+	store [numRegions]map[uint64]*[BlockSize]byte
+	stat  Stats
+}
+
+// New creates a device with the given configuration; zero fields take
+// the Table 1 defaults.
+func New(cfg Config) *Device {
+	if cfg.CapacityBytes == 0 {
+		cfg.CapacityBytes = DefaultCapacity
+	}
+	if cfg.ReadCycles == 0 {
+		cfg.ReadCycles = DefaultReadCycles
+	}
+	if cfg.WriteCycles == 0 {
+		cfg.WriteCycles = DefaultWriteCycles
+	}
+	d := &Device{cfg: cfg}
+	for r := range d.store {
+		d.store[r] = make(map[uint64]*[BlockSize]byte)
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns the device's traffic counters.
+func (d *Device) Stats() *Stats { return &d.stat }
+
+// DataBlocks returns the number of 64 B blocks in the data region.
+func (d *Device) DataBlocks() uint64 { return d.cfg.CapacityBytes / BlockSize }
+
+// Read copies block (region, index) into dst and returns the access
+// cost in cycles. Unwritten blocks read as zeroes.
+func (d *Device) Read(region Region, index uint64, dst []byte) uint64 {
+	if len(dst) != BlockSize {
+		panic("scm: read buffer must be BlockSize bytes")
+	}
+	d.stat.Reads.Inc()
+	d.stat.RegionReads[region].Inc()
+	if blk, ok := d.store[region][index]; ok {
+		copy(dst, blk[:])
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	return d.cfg.ReadCycles
+}
+
+// Write persists src into block (region, index) and returns the
+// access cost in cycles. The write is durable: it survives Crash.
+func (d *Device) Write(region Region, index uint64, src []byte) uint64 {
+	if len(src) != BlockSize {
+		panic("scm: write buffer must be BlockSize bytes")
+	}
+	d.stat.Writes.Inc()
+	d.stat.RegionWrites[region].Inc()
+	blk, ok := d.store[region][index]
+	if !ok {
+		blk = new([BlockSize]byte)
+		d.store[region][index] = blk
+	}
+	copy(blk[:], src)
+	return d.cfg.WriteCycles
+}
+
+// Contains reports whether block (region, index) has ever been
+// written. The memory controller uses this to identify first-touch
+// data blocks, which are initialized rather than verified.
+func (d *Device) Contains(region Region, index uint64) bool {
+	_, ok := d.store[region][index]
+	return ok
+}
+
+// BlocksWritten returns the number of distinct blocks present in a
+// region (the device's occupied footprint there).
+func (d *Device) BlocksWritten(region Region) int { return len(d.store[region]) }
+
+// Indices returns the indices of all blocks present in a region, in
+// unspecified order. Recovery uses this to enumerate the occupied
+// footprint instead of scanning the full (sparse) address space.
+func (d *Device) Indices(region Region) []uint64 {
+	out := make([]uint64, 0, len(d.store[region]))
+	for idx := range d.store[region] {
+		out = append(out, idx)
+	}
+	return out
+}
+
+// DropRange deletes all blocks of a region whose index lies in
+// [lo, hi), without timing or statistics. It models volatility: a
+// hybrid SCM+DRAM machine loses its DRAM partition's contents at
+// power failure, so the crash path drops those blocks outright.
+func (d *Device) DropRange(region Region, lo, hi uint64) {
+	for idx := range d.store[region] {
+		if idx >= lo && idx < hi {
+			delete(d.store[region], idx)
+		}
+	}
+}
+
+// Peek returns a copy of the stored block without timing or stats, or
+// nil if absent. It is an inspection hook for tests and recovery
+// analysis, not part of the architectural interface.
+func (d *Device) Peek(region Region, index uint64) []byte {
+	blk, ok := d.store[region][index]
+	if !ok {
+		return nil
+	}
+	out := make([]byte, BlockSize)
+	copy(out, blk[:])
+	return out
+}
+
+// --- Attack surface -------------------------------------------------
+
+// TamperByte XORs mask into one byte of a stored block, modelling an
+// active splicing/spoofing attack on the untrusted device. It reports
+// whether the block existed.
+func (d *Device) TamperByte(region Region, index uint64, offset int, mask byte) bool {
+	blk, ok := d.store[region][index]
+	if !ok || offset < 0 || offset >= BlockSize {
+		return false
+	}
+	blk[offset] ^= mask
+	return true
+}
+
+// SwapBlocks exchanges two stored blocks within a region (a splicing
+// attack). Both blocks must exist.
+func (d *Device) SwapBlocks(region Region, a, b uint64) bool {
+	ba, oka := d.store[region][a]
+	bb, okb := d.store[region][b]
+	if !oka || !okb {
+		return false
+	}
+	*ba, *bb = *bb, *ba
+	return true
+}
+
+// SnapshotBlock captures the current contents of a block for a later
+// ReplayBlock (a replay attack). Returns nil if absent.
+func (d *Device) SnapshotBlock(region Region, index uint64) []byte {
+	return d.Peek(region, index)
+}
+
+// ReplayBlock restores previously captured contents over a block,
+// bypassing timing and statistics (the attacker is not the CPU).
+func (d *Device) ReplayBlock(region Region, index uint64, snapshot []byte) {
+	if len(snapshot) != BlockSize {
+		panic("scm: replay snapshot must be BlockSize bytes")
+	}
+	blk, ok := d.store[region][index]
+	if !ok {
+		blk = new([BlockSize]byte)
+		d.store[region][index] = blk
+	}
+	copy(blk[:], snapshot)
+}

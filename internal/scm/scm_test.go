@@ -1,0 +1,232 @@
+package scm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func testConfig() Config {
+	return Config{CapacityBytes: 1 << 20, ReadCycles: 610, WriteCycles: 782}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.CapacityBytes != 8<<30 {
+		t.Fatalf("capacity = %d, want 8 GiB", cfg.CapacityBytes)
+	}
+	if cfg.ReadCycles != 610 || cfg.WriteCycles != 782 {
+		t.Fatalf("latencies = %d/%d, want 610/782", cfg.ReadCycles, cfg.WriteCycles)
+	}
+}
+
+func TestNewZeroConfigFallsBack(t *testing.T) {
+	d := New(Config{})
+	if d.Config().CapacityBytes != DefaultCapacity {
+		t.Fatalf("zero config did not fall back to default")
+	}
+}
+
+func TestReadUnwrittenIsZero(t *testing.T) {
+	d := New(testConfig())
+	buf := bytes.Repeat([]byte{0xFF}, BlockSize)
+	cost := d.Read(Data, 5, buf)
+	if cost != 610 {
+		t.Fatalf("read cost = %d, want 610", cost)
+	}
+	if !bytes.Equal(buf, make([]byte, BlockSize)) {
+		t.Fatal("unwritten block did not read as zeroes")
+	}
+	if d.Contains(Data, 5) {
+		t.Fatal("read must not materialize a block")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := New(testConfig())
+	src := make([]byte, BlockSize)
+	for i := range src {
+		src[i] = byte(i + 1)
+	}
+	if cost := d.Write(Counter, 9, src); cost != 782 {
+		t.Fatalf("write cost = %d, want 782", cost)
+	}
+	dst := make([]byte, BlockSize)
+	d.Read(Counter, 9, dst)
+	if !bytes.Equal(src, dst) {
+		t.Fatal("round trip mismatch")
+	}
+	if !d.Contains(Counter, 9) {
+		t.Fatal("Contains false after write")
+	}
+	// Regions are independent namespaces.
+	if d.Contains(Data, 9) || d.Contains(Tree, 9) {
+		t.Fatal("write leaked across regions")
+	}
+}
+
+func TestWriteIsCopied(t *testing.T) {
+	d := New(testConfig())
+	src := make([]byte, BlockSize)
+	src[0] = 1
+	d.Write(Data, 0, src)
+	src[0] = 2 // mutating the caller's buffer must not affect the store
+	got := d.Peek(Data, 0)
+	if got[0] != 1 {
+		t.Fatal("device aliased the caller's buffer")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d := New(testConfig())
+	buf := make([]byte, BlockSize)
+	d.Read(Data, 0, buf)
+	d.Read(Tree, 1, buf)
+	d.Write(Tree, 1, buf)
+	s := d.Stats()
+	if s.Reads.Value() != 2 || s.Writes.Value() != 1 {
+		t.Fatalf("reads/writes = %d/%d", s.Reads.Value(), s.Writes.Value())
+	}
+	if s.RegionReads[Data].Value() != 1 || s.RegionReads[Tree].Value() != 1 {
+		t.Fatal("region read accounting wrong")
+	}
+	if s.RegionWrites[Tree].Value() != 1 {
+		t.Fatal("region write accounting wrong")
+	}
+}
+
+func TestDataBlocks(t *testing.T) {
+	d := New(testConfig())
+	if got := d.DataBlocks(); got != (1<<20)/64 {
+		t.Fatalf("DataBlocks = %d", got)
+	}
+}
+
+func TestBlocksWritten(t *testing.T) {
+	d := New(testConfig())
+	buf := make([]byte, BlockSize)
+	d.Write(HMAC, 1, buf)
+	d.Write(HMAC, 2, buf)
+	d.Write(HMAC, 1, buf) // overwrite, not a new block
+	if got := d.BlocksWritten(HMAC); got != 2 {
+		t.Fatalf("BlocksWritten = %d, want 2", got)
+	}
+}
+
+func TestPeekAbsent(t *testing.T) {
+	d := New(testConfig())
+	if d.Peek(Shadow, 77) != nil {
+		t.Fatal("Peek of absent block should be nil")
+	}
+}
+
+func TestTamperByte(t *testing.T) {
+	d := New(testConfig())
+	buf := make([]byte, BlockSize)
+	d.Write(Data, 3, buf)
+	if !d.TamperByte(Data, 3, 10, 0xFF) {
+		t.Fatal("tamper on existing block failed")
+	}
+	if got := d.Peek(Data, 3); got[10] != 0xFF {
+		t.Fatal("tamper did not flip bits")
+	}
+	if d.TamperByte(Data, 4, 0, 1) {
+		t.Fatal("tamper on absent block should fail")
+	}
+	if d.TamperByte(Data, 3, BlockSize, 1) || d.TamperByte(Data, 3, -1, 1) {
+		t.Fatal("tamper with bad offset should fail")
+	}
+}
+
+func TestSwapBlocks(t *testing.T) {
+	d := New(testConfig())
+	a := bytes.Repeat([]byte{1}, BlockSize)
+	b := bytes.Repeat([]byte{2}, BlockSize)
+	d.Write(Data, 0, a)
+	d.Write(Data, 1, b)
+	if !d.SwapBlocks(Data, 0, 1) {
+		t.Fatal("swap failed")
+	}
+	if d.Peek(Data, 0)[0] != 2 || d.Peek(Data, 1)[0] != 1 {
+		t.Fatal("swap did not exchange contents")
+	}
+	if d.SwapBlocks(Data, 0, 99) {
+		t.Fatal("swap with absent block should fail")
+	}
+}
+
+func TestSnapshotReplay(t *testing.T) {
+	d := New(testConfig())
+	v1 := bytes.Repeat([]byte{0xAA}, BlockSize)
+	v2 := bytes.Repeat([]byte{0xBB}, BlockSize)
+	d.Write(Data, 7, v1)
+	snap := d.SnapshotBlock(Data, 7)
+	d.Write(Data, 7, v2)
+	d.ReplayBlock(Data, 7, snap)
+	if !bytes.Equal(d.Peek(Data, 7), v1) {
+		t.Fatal("replay did not restore old contents")
+	}
+	// Replay may target a never-written block (attacker writes raw).
+	d.ReplayBlock(Data, 8, snap)
+	if !bytes.Equal(d.Peek(Data, 8), v1) {
+		t.Fatal("replay to fresh block failed")
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	if Data.String() != "data" || Tree.String() != "tree" {
+		t.Fatal("region names wrong")
+	}
+	if Region(99).String() != "region(99)" {
+		t.Fatalf("out of range name = %q", Region(99).String())
+	}
+}
+
+func TestReadPanicsOnBadBuffer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Read accepted short buffer")
+		}
+	}()
+	New(testConfig()).Read(Data, 0, make([]byte, 8))
+}
+
+func TestWritePanicsOnBadBuffer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Write accepted short buffer")
+		}
+	}()
+	New(testConfig()).Write(Data, 0, make([]byte, 8))
+}
+
+// Property: the device is a faithful store — the last write to every
+// (region, index) wins, independent of interleaving.
+func TestDeviceStoreProperty(t *testing.T) {
+	f := func(ops []struct {
+		Index uint64
+		Fill  byte
+	}) bool {
+		d := New(testConfig())
+		want := make(map[uint64]byte)
+		buf := make([]byte, BlockSize)
+		for _, op := range ops {
+			idx := op.Index % 64
+			for i := range buf {
+				buf[i] = op.Fill
+			}
+			d.Write(Data, idx, buf)
+			want[idx] = op.Fill
+		}
+		for idx, fill := range want {
+			got := d.Peek(Data, idx)
+			if got == nil || got[0] != fill || got[BlockSize-1] != fill {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package scm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// deviceMagic identifies the device snapshot format, version 1.
+const deviceMagic = "AMNTSCM1"
+
+// WriteTo serializes the device's configuration and full contents in
+// a deterministic binary form (blocks sorted by index per region).
+// It implements io.WriterTo and underpins machine checkpoints — the
+// artifact-style workflow of "simulate once, crash-test many times".
+func (d *Device) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	write := func(p []byte) error {
+		m, err := bw.Write(p)
+		n += int64(m)
+		return err
+	}
+	if err := write([]byte(deviceMagic)); err != nil {
+		return n, err
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:], d.cfg.CapacityBytes)
+	binary.LittleEndian.PutUint64(hdr[8:], d.cfg.ReadCycles)
+	binary.LittleEndian.PutUint64(hdr[16:], d.cfg.WriteCycles)
+	if err := write(hdr[:]); err != nil {
+		return n, err
+	}
+	for r := Region(0); r < numRegions; r++ {
+		idxs := d.Indices(r)
+		sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+		var count [8]byte
+		binary.LittleEndian.PutUint64(count[:], uint64(len(idxs)))
+		if err := write(count[:]); err != nil {
+			return n, err
+		}
+		for _, idx := range idxs {
+			var rec [8]byte
+			binary.LittleEndian.PutUint64(rec[:], idx)
+			if err := write(rec[:]); err != nil {
+				return n, err
+			}
+			if err := write(d.store[r][idx][:]); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom replaces the device's contents (and configuration) with a
+// snapshot written by WriteTo. Statistics are preserved (the snapshot
+// records state, not history). It implements io.ReaderFrom.
+func (d *Device) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReader(r)
+	n := int64(0)
+	read := func(p []byte) error {
+		m, err := io.ReadFull(br, p)
+		n += int64(m)
+		return err
+	}
+	magic := make([]byte, len(deviceMagic))
+	if err := read(magic); err != nil {
+		return n, fmt.Errorf("scm: snapshot magic: %w", err)
+	}
+	if string(magic) != deviceMagic {
+		return n, fmt.Errorf("scm: not a device snapshot (magic %q)", magic)
+	}
+	var hdr [24]byte
+	if err := read(hdr[:]); err != nil {
+		return n, fmt.Errorf("scm: snapshot header: %w", err)
+	}
+	d.cfg.CapacityBytes = binary.LittleEndian.Uint64(hdr[0:])
+	d.cfg.ReadCycles = binary.LittleEndian.Uint64(hdr[8:])
+	d.cfg.WriteCycles = binary.LittleEndian.Uint64(hdr[16:])
+	for r := Region(0); r < numRegions; r++ {
+		d.store[r] = make(map[uint64]*[BlockSize]byte)
+		var count [8]byte
+		if err := read(count[:]); err != nil {
+			return n, fmt.Errorf("scm: region %s count: %w", r, err)
+		}
+		for i := uint64(0); i < binary.LittleEndian.Uint64(count[:]); i++ {
+			var rec [8]byte
+			if err := read(rec[:]); err != nil {
+				return n, fmt.Errorf("scm: region %s index: %w", r, err)
+			}
+			blk := new([BlockSize]byte)
+			if err := read(blk[:]); err != nil {
+				return n, fmt.Errorf("scm: region %s block: %w", r, err)
+			}
+			d.store[r][binary.LittleEndian.Uint64(rec[:])] = blk
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Dump writes the result in gem5's stats.txt style — one
+// `name value # description` line per statistic, sorted by name — so
+// existing stats-parsing tooling (like the paper artifact's
+// parse_results.py flow) has a familiar target.
+func (r Result) Dump(w io.Writer) error {
+	type stat struct {
+		name  string
+		value interface{}
+		desc  string
+	}
+	stats := []stat{
+		{"sim.cycles", r.Cycles, "total simulated cycles"},
+		{"sim.instructions", r.Instructions, "instructions (compute gaps + memory ops + OS)"},
+		{"sim.cpi", fmt.Sprintf("%.6f", r.CyclesPerInstruction()), "cycles per instruction"},
+		{"sim.accesses", r.Accesses, "memory references issued"},
+		{"sim.reads", r.Reads, "MEE data reads"},
+		{"sim.writes", r.Writes, "MEE data writes"},
+		{"system.l1.hit_rate", fmt.Sprintf("%.6f", r.L1HitRate), "aggregate L1 hit rate"},
+		{"system.mee.meta_hit_rate", fmt.Sprintf("%.6f", r.MetaHitRate), "metadata cache hit rate"},
+		{"system.mee.subtree_hit_rate", fmt.Sprintf("%.6f", r.SubtreeHitRate), "AMNT fast-subtree hit rate"},
+		{"system.mee.subtree_movements", r.Movements, "AMNT subtree transitions"},
+		{"system.scm.reads", r.DeviceReads, "device block reads"},
+		{"system.scm.writes", r.DeviceWrites, "device block writes"},
+		{"system.os.page_faults", r.PageFaults, "demand-paging faults"},
+		{"system.os.instructions", r.OSInstructions, "kernel instructions"},
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].name < stats[j].name })
+	if _, err := fmt.Fprintf(w, "---------- Begin Simulation Statistics (%s / %s) ----------\n",
+		r.Policy, joinWorkloads(r.Workloads)); err != nil {
+		return err
+	}
+	for _, s := range stats {
+		if _, err := fmt.Fprintf(w, "%-34s %16v  # %s\n", s.name, s.value, s.desc); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "---------- End Simulation Statistics ----------")
+	return err
+}
+
+func joinWorkloads(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += "+"
+		}
+		out += n
+	}
+	return out
+}

@@ -1,0 +1,440 @@
+// Package sim assembles the full machine — OS kernel with demand
+// paging, per-core cache hierarchies, the secure memory controller
+// with a persistence policy, and the SCM device — and drives it with
+// synthetic workload traces. It is the engine behind every figure and
+// table reproduction.
+//
+// The timing model is a serialized global clock: cores interleave
+// accesses round-robin, each access advancing the clock by its
+// compute gap plus its memory latency. This keeps all protocols under
+// an identical access stream, which is what normalized comparisons
+// (cycles relative to the volatile baseline) require.
+//
+// The data path is functional end to end: every store bumps a block
+// version, dirty LLC evictions encrypt version-derived bytes into the
+// device, and every MEE read is checked against the expected bytes —
+// a whole-system integrity oracle that fails loudly if any protocol
+// mismanages metadata.
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"amnt/internal/cache"
+	"amnt/internal/core"
+	"amnt/internal/cpu"
+	"amnt/internal/kernel"
+	"amnt/internal/mee"
+	"amnt/internal/scm"
+	"amnt/internal/stats"
+	"amnt/internal/workload"
+)
+
+// Config describes a machine.
+type Config struct {
+	// MemoryBytes sizes the SCM device (default 8 GB, Table 1).
+	MemoryBytes uint64
+	// Core selects the per-core cache configuration.
+	Core cpu.Config
+	// L3Bytes adds a shared L3 (0 = none; the paper's single-program
+	// config has none, multiprogram 1 MB, multithread 8 MB).
+	L3Bytes int
+	// MEE configures the secure memory controller.
+	MEE mee.Config
+	// AMNTPlusPlus runs the modified (biased) buddy allocator.
+	AMNTPlusPlus bool
+	// SubtreeLevel is the AMNT subtree level used to size AMNT++
+	// regions (and, for the amnt policy itself, its fast subtree).
+	SubtreeLevel int
+	// PrefragmentChurn shuffles the allocator's free lists before the
+	// run so placement policy matters (0 = pristine boot state).
+	PrefragmentChurn int
+	// Seed drives all stochastic components.
+	Seed int64
+	// CollectPageHist records per-physical-page access counts
+	// (Figure 3).
+	CollectPageHist bool
+	// StopAtFirstDone ends a multiprogram run when the first trace
+	// finishes (the paper's multiprogram region-of-interest rule);
+	// otherwise all traces run to completion.
+	StopAtFirstDone bool
+	// SharedAddressSpace runs all traces in one process (the paper's
+	// multithreaded SPEC configuration) instead of one process each.
+	SharedAddressSpace bool
+}
+
+// DefaultConfig returns the paper's single-program machine.
+func DefaultConfig() Config {
+	return Config{
+		MemoryBytes:  8 << 30,
+		Core:         cpu.SingleProgram(),
+		MEE:          mee.DefaultConfig(),
+		SubtreeLevel: 3,
+		Seed:         1,
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Workloads []string
+	Policy    string
+	// Cycles is the total simulated time.
+	Cycles uint64
+	// Instructions counts trace compute gaps + memory ops + OS work.
+	Instructions uint64
+	// OSInstructions is the kernel's share of Instructions.
+	OSInstructions uint64
+	// Accesses/Reads/Writes count memory references issued.
+	Accesses, Reads, Writes uint64
+	// MetaHitRate is the metadata cache hit rate.
+	MetaHitRate float64
+	// L1HitRate aggregates L1 hit rate over cores.
+	L1HitRate float64
+	// PageFaults counts demand-paging faults.
+	PageFaults uint64
+	// SubtreeHitRate and Movements are AMNT-specific (0 otherwise).
+	SubtreeHitRate float64
+	Movements      uint64
+	// DeviceReads/Writes count SCM block transfers.
+	DeviceReads, DeviceWrites uint64
+	// PageHist is per-physical-page access counts when requested.
+	PageHist *stats.Histogram
+}
+
+// CyclesPerInstruction returns the run's effective CPI.
+func (r Result) CyclesPerInstruction() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instructions)
+}
+
+// Machine is an assembled system ready to run traces.
+type Machine struct {
+	cfg      Config
+	dev      *scm.Device
+	ctrl     *mee.Controller
+	kern     *kernel.Kernel
+	l3       *cache.Cache
+	cores    []*cpu.Hierarchy
+	procs    []*kernel.Process
+	traces   []workload.Source
+	versions map[uint64]uint32
+	now      uint64
+	pageHist *stats.Histogram
+	policy   mee.Policy
+}
+
+// NewMachine builds a machine running one freshly generated trace
+// per core.
+func NewMachine(cfg Config, policy mee.Policy, specs []workload.Spec) *Machine {
+	sources := make([]workload.Source, len(specs))
+	for i, spec := range specs {
+		sources[i] = workload.NewTrace(spec, baseSeed(cfg)+int64(i)*7919)
+	}
+	return NewMachineWithSources(cfg, policy, sources)
+}
+
+func baseSeed(cfg Config) int64 { return cfg.Seed }
+
+// NewMachineWithSources builds a machine over externally supplied
+// access streams — typically traces recorded with workload.Record and
+// replayed with workload.OpenRecorded, for bit-identical experiment
+// reproduction.
+func NewMachineWithSources(cfg Config, policy mee.Policy, sources []workload.Source) *Machine {
+	if cfg.MemoryBytes == 0 {
+		cfg.MemoryBytes = 8 << 30
+	}
+	if cfg.MEE.MetaCacheBytes == 0 {
+		cfg.MEE = mee.DefaultConfig()
+	}
+	dev := scm.New(scm.Config{CapacityBytes: cfg.MemoryBytes})
+	ctrl := mee.New(dev, cfg.MEE, policy)
+
+	level := cfg.SubtreeLevel
+	if level <= 0 {
+		level = 3
+	}
+	regionPages := ctrl.Geometry().CoverageBytes(level) / kernel.PageSize
+	kern := kernel.New(kernel.Config{
+		MemoryBytes:        cfg.MemoryBytes,
+		AMNTPlusPlus:       cfg.AMNTPlusPlus,
+		SubtreeRegionPages: regionPages,
+	})
+
+	m := &Machine{
+		cfg:      cfg,
+		dev:      dev,
+		ctrl:     ctrl,
+		kern:     kern,
+		versions: make(map[uint64]uint32),
+		policy:   policy,
+	}
+	if cfg.CollectPageHist {
+		m.pageHist = stats.NewHistogram()
+	}
+	if cfg.PrefragmentChurn > 0 {
+		kern.Prefragment(newRand(cfg.Seed), cfg.PrefragmentChurn)
+		if cfg.AMNTPlusPlus {
+			// One reclamation pass so the biased ordering is in place
+			// at first allocation, as after any uptime.
+			kern.Allocator().Restructure(regionPages)
+		}
+	}
+	m.l3 = cpu.SharedL3(cfg.L3Bytes)
+	for i, src := range sources {
+		spec := src.Spec()
+		name := fmt.Sprintf("core%d", i)
+		h := cpu.NewHierarchy(name, cfg.Core, m.l3, ctrl, m.content)
+		// End-to-end oracle: everything the MEE decrypts must match
+		// the version-derived bytes the machine last evicted.
+		h.SetVerify(func(block uint64, data []byte) error {
+			want := blockContent(block, m.versions[block])
+			for j := range want {
+				if data[j] != want[j] {
+					return fmt.Errorf("sim: block %d plaintext diverged at byte %d", block, j)
+				}
+			}
+			return nil
+		})
+		m.cores = append(m.cores, h)
+		if cfg.SharedAddressSpace && i > 0 {
+			m.procs = append(m.procs, m.procs[0])
+		} else {
+			m.procs = append(m.procs, kern.NewProcess(spec.Name))
+		}
+		m.traces = append(m.traces, src)
+	}
+	if cfg.SharedAddressSpace {
+		// Threads share data: wire the dirty-migration snoop so a
+		// line dirtied in one core's private cache is transferred, not
+		// re-read stale from memory.
+		for i := range m.cores {
+			i := i
+			m.cores[i].SetSnoop(func(block uint64) bool {
+				for j, other := range m.cores {
+					if j != i && other.ExtractDirty(block) {
+						return true
+					}
+				}
+				return false
+			})
+		}
+	}
+	return m
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// content derives a block's current plaintext from its version; see
+// the package comment.
+func (m *Machine) content(block uint64) []byte {
+	return blockContent(block, m.versions[block])
+}
+
+func blockContent(block uint64, version uint32) []byte {
+	out := make([]byte, scm.BlockSize)
+	if version == 0 {
+		return out // never written: zeros
+	}
+	binary.LittleEndian.PutUint64(out[0:], block)
+	binary.LittleEndian.PutUint32(out[8:], version)
+	for i := 12; i < scm.BlockSize; i++ {
+		out[i] = byte(block) ^ byte(version) ^ byte(i)
+	}
+	return out
+}
+
+// Controller exposes the MEE (for recovery experiments and stats).
+func (m *Machine) Controller() *mee.Controller { return m.ctrl }
+
+// ProcessPages returns each core's process's mapped physical pages
+// (deduplicated when cores share an address space).
+func (m *Machine) ProcessPages() [][]uint64 {
+	seen := make(map[*kernel.Process]bool)
+	var out [][]uint64
+	for _, p := range m.procs {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p.PhysicalPages())
+	}
+	return out
+}
+
+// Kernel exposes the OS model.
+func (m *Machine) Kernel() *kernel.Kernel { return m.kern }
+
+// Now returns the current simulated cycle.
+func (m *Machine) Now() uint64 { return m.now }
+
+// Step runs one access from trace/core i. done reports trace
+// exhaustion.
+func (m *Machine) Step(i int) (done bool, err error) {
+	acc, ok := m.traces[i].Next()
+	if !ok {
+		return true, nil
+	}
+	m.now += uint64(acc.Gap) // 1 IPC for non-memory instructions
+	paddr, fault := m.procs[i].Translate(acc.VAddr)
+	if fault {
+		// Charge the fault handler's instructions as cycles.
+		m.now += 150
+	}
+	block := paddr / scm.BlockSize
+	if m.pageHist != nil {
+		m.pageHist.Observe(paddr / kernel.PageSize)
+	}
+	cycles, err := m.cores[i].Access(m.now, block, acc.Write)
+	if err != nil {
+		return false, fmt.Errorf("core %d @%d: %w", i, m.now, err)
+	}
+	if acc.Write {
+		// Bump after the (write-allocate) access: any MEE fetch during
+		// the access sees the pre-store contents; the eviction that
+		// eventually writes this line back will see the new version.
+		m.versions[block]++
+	}
+	m.now += cycles
+	return false, nil
+}
+
+// Run drives all traces round-robin to completion (or until the first
+// finishes under StopAtFirstDone) and returns the result summary.
+func (m *Machine) Run() (Result, error) {
+	live := make([]bool, len(m.traces))
+	for i := range live {
+		live[i] = true
+	}
+	remaining := len(live)
+	for remaining > 0 {
+		for i := range m.traces {
+			if !live[i] {
+				continue
+			}
+			done, err := m.Step(i)
+			if err != nil {
+				return Result{}, err
+			}
+			if done {
+				live[i] = false
+				remaining--
+				if m.cfg.StopAtFirstDone {
+					remaining = 0
+				}
+			}
+		}
+	}
+	return m.result(), nil
+}
+
+// Drain writes all dirty data back through the MEE (clean shutdown).
+func (m *Machine) Drain() error {
+	for _, h := range m.cores {
+		cycles, err := h.Drain(m.now)
+		m.now += cycles
+		if err != nil {
+			return err
+		}
+	}
+	m.now += m.ctrl.Flush(m.now)
+	return nil
+}
+
+// Crash drops all volatile state: CPU caches and the controller's
+// volatile structures. Dirty cache lines are lost, exactly as on a
+// power failure.
+func (m *Machine) Crash() {
+	for _, h := range m.cores {
+		h.InvalidateAll()
+	}
+	m.ctrl.Crash()
+}
+
+func (m *Machine) result() Result {
+	r := Result{
+		Policy:         m.policy.Name(),
+		Cycles:         m.now,
+		PageFaults:     m.kern.PageFaults(),
+		OSInstructions: m.kern.Instructions(),
+		MetaHitRate:    m.ctrl.MetaCache().HitRate(),
+		DeviceReads:    m.dev.Stats().Reads.Value(),
+		DeviceWrites:   m.dev.Stats().Writes.Value(),
+		PageHist:       m.pageHist,
+	}
+	st := m.ctrl.Stats()
+	r.Reads = st.DataReads.Value()
+	r.Writes = st.DataWrites.Value()
+	var l1Hits, l1Total uint64
+	for i, h := range m.cores {
+		r.Workloads = append(r.Workloads, m.traces[i].Spec().Name)
+		l1 := h.Levels()[0]
+		l1Total += l1.Accesses()
+		l1Hits += uint64(float64(l1.Accesses()) * l1.HitRate())
+		r.Accesses += m.traces[i].Spec().Accesses - m.traces[i].Remaining()
+	}
+	if l1Total > 0 {
+		r.L1HitRate = float64(l1Hits) / float64(l1Total)
+	}
+	// Instructions = compute gaps + one per memory op + OS work. The
+	// gap total is implicit in the clock; approximate it as accesses ×
+	// mean gap, which is exact in expectation and consistent across
+	// policies (same traces).
+	var gapTotal uint64
+	for _, tr := range m.traces {
+		done := tr.Spec().Accesses - tr.Remaining()
+		gapTotal += done * uint64(tr.Spec().GapMean)
+	}
+	r.Instructions = gapTotal + r.Accesses + r.OSInstructions
+	if a, ok := m.policy.(*core.AMNT); ok {
+		r.SubtreeHitRate = a.SubtreeHitRate()
+		r.Movements = a.Movements()
+	}
+	return r
+}
+
+// Run is the one-call entry: build a machine, run the traces, return
+// the result.
+func Run(cfg Config, policy mee.Policy, specs ...workload.Spec) (Result, error) {
+	m := NewMachine(cfg, policy, specs)
+	return m.Run()
+}
+
+// PolicyByName constructs a built-in policy. amnt uses the config's
+// subtree level; amnt++ additionally enables the modified kernel (the
+// caller sets cfg.AMNTPlusPlus when selecting it).
+func PolicyByName(name string, subtreeLevel int) (mee.Policy, error) {
+	switch name {
+	case "volatile":
+		return mee.NewVolatile(), nil
+	case "strict":
+		return mee.NewStrict(), nil
+	case "leaf":
+		return mee.NewLeaf(), nil
+	case "osiris":
+		return mee.NewOsiris(4), nil
+	case "anubis":
+		return mee.NewAnubis(), nil
+	case "bmf":
+		return mee.NewBMF(), nil
+	case "battery":
+		return mee.NewBattery(), nil
+	case "plp":
+		return mee.NewPLP(), nil
+	case "triad":
+		return mee.NewTriad(2), nil
+	case "indirect":
+		return core.NewIndirect(core.WithLevel(subtreeLevel)), nil
+	case "amnt", "amnt++":
+		return core.New(core.WithLevel(subtreeLevel)), nil
+	}
+	return nil, fmt.Errorf("sim: unknown policy %q", name)
+}
+
+// PolicyNames lists the selectable policies.
+func PolicyNames() []string {
+	return []string{"volatile", "strict", "leaf", "osiris", "anubis", "bmf", "battery", "plp", "triad", "indirect", "amnt", "amnt++"}
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows of string cells and renders them as an
+// aligned text table or CSV. Experiment drivers use it to print the
+// same rows the paper's tables and figures report.
+type Table struct {
+	Title  string
+	header []string
+	rows   [][]string
+	notes  []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddNote appends a free-form footnote rendered after the table body.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Header returns the column headers.
+func (t *Table) Header() []string { return append([]string(nil), t.header...) }
+
+// Rows returns a copy of the row cells.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v != 0 && (v < 0.001 && v > -0.001):
+		return fmt.Sprintf("%.2e", v)
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render returns the aligned text form of the table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV returns the table in CSV form (header first, no title/notes).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = "\"" + strings.ReplaceAll(cell, "\"", "\"\"") + "\""
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeCSVRow(t.header)
+	for _, row := range t.rows {
+		writeCSVRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Source is anything that yields an access stream: a live synthetic
+// Trace or a Recorded file. The simulator accepts either, so
+// experiments can be frozen to disk and replayed bit-identically on
+// another machine or against a modified simulator.
+type Source interface {
+	// Next returns the next access; ok is false at end of stream.
+	Next() (Access, bool)
+	// Spec describes the workload the stream came from.
+	Spec() Spec
+	// Remaining returns how many accesses are left.
+	Remaining() uint64
+}
+
+// Compile-time interface checks.
+var (
+	_ Source = (*Trace)(nil)
+	_ Source = (*Recorded)(nil)
+)
+
+// traceMagic identifies the on-disk trace format, version 1.
+const traceMagic = "AMNTTRC1"
+
+// Record generates spec's full trace with the given seed and writes
+// it in the portable binary format. The file captures the spec too,
+// so replays carry their own metadata.
+func Record(spec Spec, seed int64, w io.Writer) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	writeString := func(s string) {
+		var n [2]byte
+		binary.LittleEndian.PutUint16(n[:], uint16(len(s)))
+		bw.Write(n[:])
+		bw.WriteString(s)
+	}
+	writeString(spec.Name)
+	writeString(spec.Suite)
+	var hdr [64]byte
+	binary.LittleEndian.PutUint64(hdr[0:], spec.FootprintBytes)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(int64(spec.WriteRatio*1e9)))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(spec.GapMean))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(spec.Model))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(int64(spec.HotFraction*1e9)))
+	binary.LittleEndian.PutUint64(hdr[40:], uint64(int64(spec.ZipfS*1e9)))
+	binary.LittleEndian.PutUint64(hdr[48:], spec.WindowBytes)
+	binary.LittleEndian.PutUint64(hdr[56:], spec.PhaseLen)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var count [8]byte
+	binary.LittleEndian.PutUint64(count[:], spec.Accesses)
+	if _, err := bw.Write(count[:]); err != nil {
+		return err
+	}
+	tr := NewTrace(spec, seed)
+	var rec [13]byte
+	for {
+		a, ok := tr.Next()
+		if !ok {
+			break
+		}
+		binary.LittleEndian.PutUint64(rec[0:], a.VAddr)
+		binary.LittleEndian.PutUint32(rec[8:], a.Gap)
+		rec[12] = 0
+		if a.Write {
+			rec[12] = 1
+		}
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Recorded replays a trace written by Record.
+type Recorded struct {
+	spec      Spec
+	r         *bufio.Reader
+	remaining uint64
+}
+
+// OpenRecorded parses a recorded trace's header and returns a
+// replayer positioned at the first access.
+func OpenRecorded(r io.Reader) (*Recorded, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("workload: reading trace magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("workload: not a trace file (magic %q)", magic)
+	}
+	readString := func() (string, error) {
+		var n [2]byte
+		if _, err := io.ReadFull(br, n[:]); err != nil {
+			return "", err
+		}
+		buf := make([]byte, binary.LittleEndian.Uint16(n[:]))
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	var spec Spec
+	var err error
+	if spec.Name, err = readString(); err != nil {
+		return nil, fmt.Errorf("workload: trace header: %w", err)
+	}
+	if spec.Suite, err = readString(); err != nil {
+		return nil, fmt.Errorf("workload: trace header: %w", err)
+	}
+	var hdr [64]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("workload: trace header: %w", err)
+	}
+	spec.FootprintBytes = binary.LittleEndian.Uint64(hdr[0:])
+	spec.WriteRatio = float64(int64(binary.LittleEndian.Uint64(hdr[8:]))) / 1e9
+	spec.GapMean = int(binary.LittleEndian.Uint64(hdr[16:]))
+	spec.Model = Model(binary.LittleEndian.Uint64(hdr[24:]))
+	spec.HotFraction = float64(int64(binary.LittleEndian.Uint64(hdr[32:]))) / 1e9
+	spec.ZipfS = float64(int64(binary.LittleEndian.Uint64(hdr[40:]))) / 1e9
+	spec.WindowBytes = binary.LittleEndian.Uint64(hdr[48:])
+	spec.PhaseLen = binary.LittleEndian.Uint64(hdr[56:])
+	var count [8]byte
+	if _, err := io.ReadFull(br, count[:]); err != nil {
+		return nil, fmt.Errorf("workload: trace header: %w", err)
+	}
+	spec.Accesses = binary.LittleEndian.Uint64(count[:])
+	return &Recorded{spec: spec, r: br, remaining: spec.Accesses}, nil
+}
+
+// Spec implements Source.
+func (t *Recorded) Spec() Spec { return t.spec }
+
+// Remaining implements Source.
+func (t *Recorded) Remaining() uint64 { return t.remaining }
+
+// Next implements Source.
+func (t *Recorded) Next() (Access, bool) {
+	if t.remaining == 0 {
+		return Access{}, false
+	}
+	var rec [13]byte
+	if _, err := io.ReadFull(t.r, rec[:]); err != nil {
+		// A truncated file ends the stream early; the caller sees a
+		// shorter trace rather than corrupt accesses.
+		t.remaining = 0
+		return Access{}, false
+	}
+	t.remaining--
+	return Access{
+		VAddr: binary.LittleEndian.Uint64(rec[0:]),
+		Gap:   binary.LittleEndian.Uint32(rec[8:]),
+		Write: rec[12] == 1,
+	}, true
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	spec := Quickstart()
+	spec.Accesses = 5000
+	var buf bytes.Buffer
+	if err := Record(spec, 42, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := OpenRecorded(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Spec() != spec {
+		t.Fatalf("spec round trip: %+v vs %+v", rec.Spec(), spec)
+	}
+	live := NewTrace(spec, 42)
+	n := 0
+	for {
+		want, okW := live.Next()
+		got, okG := rec.Next()
+		if okW != okG {
+			t.Fatalf("stream lengths diverge at %d", n)
+		}
+		if !okW {
+			break
+		}
+		if want != got {
+			t.Fatalf("access %d: recorded %+v vs live %+v", n, got, want)
+		}
+		n++
+	}
+	if n != 5000 {
+		t.Fatalf("replayed %d accesses", n)
+	}
+	if rec.Remaining() != 0 {
+		t.Fatalf("remaining = %d after exhaustion", rec.Remaining())
+	}
+}
+
+func TestRecordRejectsInvalidSpec(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Record(Spec{Name: "bad", FootprintBytes: 1, Accesses: 1}, 0, &buf); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestOpenRecordedRejectsGarbage(t *testing.T) {
+	if _, err := OpenRecorded(strings.NewReader("not a trace file at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := OpenRecorded(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := OpenRecorded(strings.NewReader("AMNTTRC1")); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestTruncatedBodyEndsCleanly(t *testing.T) {
+	spec := Quickstart()
+	spec.Accesses = 100
+	var buf bytes.Buffer
+	if err := Record(spec, 7, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Chop off the last 20 bytes mid-record.
+	data := buf.Bytes()[:buf.Len()-20]
+	rec, err := OpenRecorded(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, ok := rec.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n == 0 || n >= 100 {
+		t.Fatalf("truncated replay yielded %d accesses", n)
+	}
+	// Further Next calls stay terminated.
+	if _, ok := rec.Next(); ok {
+		t.Fatal("stream resurrected after EOF")
+	}
+}
+
+func TestRecordedSpecFidelity(t *testing.T) {
+	// Fractional fields survive the fixed-point encoding for every
+	// suite spec.
+	for _, spec := range All() {
+		spec.Accesses = 1
+		var buf bytes.Buffer
+		if err := Record(spec, 1, &buf); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		rec, err := OpenRecorded(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		got := rec.Spec()
+		if got != spec {
+			t.Fatalf("%s: spec mismatch\n got %+v\nwant %+v", spec.Name, got, spec)
+		}
+	}
+}

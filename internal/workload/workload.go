@@ -1,0 +1,329 @@
+// Package workload generates synthetic memory-access traces that
+// stand in for the paper's PARSEC 3.0 and SPEC CPU2017 benchmarks
+// (the repository has no gem5 or benchmark binaries — see DESIGN.md's
+// substitution table).
+//
+// Each benchmark is a Spec: a virtual footprint, a write ratio, an
+// average compute gap between memory references, and a locality model
+// (zipf hot-region, streaming sweep, pointer chase, phased working
+// set). The parameters are calibrated to the qualitative properties
+// the paper reports — canneal's poor metadata-cache hit rate, lbm and
+// xz's write intensity, mcf and cactuBSSN's read-bound behaviour,
+// swaptions' and freqmine's compute-bound indifference — which are
+// the properties the evaluated protocols are sensitive to.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Model selects the spatial locality pattern of a Spec.
+type Model int
+
+// Locality models.
+const (
+	// Zipf concentrates accesses on a hot contiguous region with a
+	// zipf-distributed page popularity.
+	Zipf Model = iota
+	// Stream sweeps the footprint sequentially (stencil codes: lbm).
+	Stream
+	// Chase jumps uniformly at random across the footprint (pointer
+	// chasing: canneal, mcf).
+	Chase
+	// Phased confines accesses to a window that slides across the
+	// footprint (phase-structured codes: x264, dedup).
+	Phased
+)
+
+func (m Model) String() string {
+	switch m {
+	case Zipf:
+		return "zipf"
+	case Stream:
+		return "stream"
+	case Chase:
+		return "chase"
+	case Phased:
+		return "phased"
+	}
+	return fmt.Sprintf("model(%d)", int(m))
+}
+
+// Access is one element of a trace.
+type Access struct {
+	// VAddr is the virtual byte address touched.
+	VAddr uint64
+	// Write distinguishes stores from loads.
+	Write bool
+	// Gap is the number of non-memory instructions preceding this
+	// access (compute between references).
+	Gap uint32
+}
+
+// Spec parameterizes one synthetic benchmark.
+type Spec struct {
+	// Name is the benchmark this generator stands in for.
+	Name string
+	// Suite is "parsec" or "spec".
+	Suite string
+	// FootprintBytes is the virtual memory footprint.
+	FootprintBytes uint64
+	// WriteRatio is the store fraction of memory accesses.
+	WriteRatio float64
+	// GapMean is the average compute gap (instructions) between
+	// memory accesses; large gaps = compute bound.
+	GapMean int
+	// Model selects the locality pattern.
+	Model Model
+	// HotFraction (Zipf) is the fraction of the footprint forming the
+	// hot region.
+	HotFraction float64
+	// ZipfS (Zipf) is the skew parameter (>1; larger = hotter).
+	ZipfS float64
+	// WindowBytes (Phased) is the sliding working-set size.
+	WindowBytes uint64
+	// PhaseLen (Phased) is the number of accesses per phase.
+	PhaseLen uint64
+	// Accesses is the trace length.
+	Accesses uint64
+}
+
+// Validate reports configuration errors.
+func (s Spec) Validate() error {
+	if s.FootprintBytes < 4096 {
+		return fmt.Errorf("workload %s: footprint too small", s.Name)
+	}
+	if s.WriteRatio < 0 || s.WriteRatio > 1 {
+		return fmt.Errorf("workload %s: write ratio %v out of range", s.Name, s.WriteRatio)
+	}
+	if s.Accesses == 0 {
+		return fmt.Errorf("workload %s: zero-length trace", s.Name)
+	}
+	return nil
+}
+
+// Scale returns a copy of the spec with the trace length multiplied
+// by f (used to shrink experiments for quick runs).
+func (s Spec) Scale(f float64) Spec {
+	n := uint64(float64(s.Accesses) * f)
+	if n == 0 {
+		n = 1
+	}
+	s.Accesses = n
+	return s
+}
+
+// Trace is a deterministic access stream for a Spec.
+type Trace struct {
+	spec  Spec
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	i     uint64
+	sweep uint64
+}
+
+// NewTrace builds the trace generator for spec with the given seed.
+func NewTrace(spec Spec, seed int64) *Trace {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	t := &Trace{spec: spec, rng: rand.New(rand.NewSource(seed))}
+	if spec.Model == Stream {
+		// Each trace instance sweeps from its own phase (threads of a
+		// stencil code partition the grid; they do not run in
+		// lockstep over the same elements).
+		t.sweep = uint64(t.rng.Int63n(int64(spec.FootprintBytes / 64)))
+	}
+	if spec.Model == Zipf {
+		hotPages := uint64(float64(spec.FootprintBytes/4096) * spec.HotFraction)
+		if hotPages < 1 {
+			hotPages = 1
+		}
+		s := spec.ZipfS
+		if s <= 1 {
+			s = 1.2
+		}
+		t.zipf = rand.NewZipf(t.rng, s, 1, hotPages-1)
+	}
+	return t
+}
+
+// Spec returns the generator's spec.
+func (t *Trace) Spec() Spec { return t.spec }
+
+// Remaining returns how many accesses are left.
+func (t *Trace) Remaining() uint64 { return t.spec.Accesses - t.i }
+
+// Next returns the next access; ok is false once the trace is done.
+func (t *Trace) Next() (Access, bool) {
+	if t.i >= t.spec.Accesses {
+		return Access{}, false
+	}
+	t.i++
+	s := t.spec
+	var vaddr uint64
+	blocks := s.FootprintBytes / 64
+	switch s.Model {
+	case Stream:
+		// Sequential sweep, wrapping over the footprint.
+		vaddr = (t.sweep * 64) % s.FootprintBytes
+		t.sweep++
+	case Chase:
+		vaddr = uint64(t.rng.Int63n(int64(blocks))) * 64
+	case Phased:
+		window := s.WindowBytes
+		if window == 0 || window > s.FootprintBytes {
+			window = s.FootprintBytes / 8
+			if window < 4096 {
+				window = 4096
+			}
+		}
+		phase := t.i / maxU64(s.PhaseLen, 1)
+		base := (phase * window / 2) % (s.FootprintBytes - window + 1)
+		vaddr = base + uint64(t.rng.Int63n(int64(window/64)))*64
+	default: // Zipf
+		switch r := t.rng.Float64(); {
+		case r < 0.80:
+			// Hot set with zipf-distributed page popularity.
+			page := t.zipf.Uint64()
+			vaddr = page*4096 + uint64(t.rng.Int63n(64))*64
+		case r < 0.92:
+			// Uniform within the hot region (spatial, low temporal).
+			hotPages := uint64(float64(s.FootprintBytes/4096) * s.HotFraction)
+			if hotPages < 1 {
+				hotPages = 1
+			}
+			vaddr = uint64(t.rng.Int63n(int64(hotPages)))*4096 + uint64(t.rng.Int63n(64))*64
+		default:
+			// Cold tail across the whole footprint.
+			vaddr = uint64(t.rng.Int63n(int64(blocks))) * 64
+		}
+	}
+	gap := uint32(0)
+	if s.GapMean > 0 {
+		gap = uint32(t.rng.Int63n(int64(2*s.GapMean + 1)))
+	}
+	return Access{
+		VAddr: vaddr,
+		Write: t.rng.Float64() < s.WriteRatio,
+		Gap:   gap,
+	}, true
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+const (
+	defaultAccesses = 200_000
+	mib             = 1 << 20
+)
+
+// PARSEC returns the ten PARSEC 3.0 workload stand-ins used in the
+// paper's Figures 4–7.
+func PARSEC() []Spec {
+	return []Spec{
+		{Name: "blackscholes", Suite: "parsec", FootprintBytes: 48 * mib, WriteRatio: 0.25, GapMean: 60, Model: Zipf, HotFraction: 0.05, ZipfS: 1.2, Accesses: defaultAccesses},
+		{Name: "bodytrack", Suite: "parsec", FootprintBytes: 64 * mib, WriteRatio: 0.30, GapMean: 25, Model: Zipf, HotFraction: 0.08, ZipfS: 1.2, Accesses: defaultAccesses},
+		{Name: "canneal", Suite: "parsec", FootprintBytes: 512 * mib, WriteRatio: 0.20, GapMean: 8, Model: Chase, Accesses: defaultAccesses},
+		{Name: "dedup", Suite: "parsec", FootprintBytes: 256 * mib, WriteRatio: 0.35, GapMean: 15, Model: Phased, WindowBytes: 24 * mib, PhaseLen: 20_000, Accesses: defaultAccesses},
+		{Name: "facesim", Suite: "parsec", FootprintBytes: 160 * mib, WriteRatio: 0.30, GapMean: 20, Model: Stream, Accesses: defaultAccesses},
+		{Name: "fluidanimate", Suite: "parsec", FootprintBytes: 96 * mib, WriteRatio: 0.40, GapMean: 18, Model: Zipf, HotFraction: 0.07, ZipfS: 1.15, Accesses: defaultAccesses},
+		{Name: "freqmine", Suite: "parsec", FootprintBytes: 24 * mib, WriteRatio: 0.15, GapMean: 80, Model: Zipf, HotFraction: 0.03, ZipfS: 1.4, Accesses: defaultAccesses},
+		{Name: "streamcluster", Suite: "parsec", FootprintBytes: 32 * mib, WriteRatio: 0.10, GapMean: 50, Model: Stream, Accesses: defaultAccesses},
+		{Name: "swaptions", Suite: "parsec", FootprintBytes: 8 * mib, WriteRatio: 0.12, GapMean: 100, Model: Zipf, HotFraction: 0.05, ZipfS: 1.5, Accesses: defaultAccesses},
+		{Name: "x264", Suite: "parsec", FootprintBytes: 64 * mib, WriteRatio: 0.22, GapMean: 45, Model: Phased, WindowBytes: 8 * mib, PhaseLen: 25_000, Accesses: defaultAccesses},
+	}
+}
+
+// SPEC returns the ten SPEC CPU2017 workload stand-ins used in the
+// paper's Figure 8.
+func SPEC() []Spec {
+	return []Spec{
+		{Name: "perlbench", Suite: "spec", FootprintBytes: 96 * mib, WriteRatio: 0.28, GapMean: 30, Model: Zipf, HotFraction: 0.20, ZipfS: 1.1, Accesses: defaultAccesses},
+		{Name: "gcc", Suite: "spec", FootprintBytes: 128 * mib, WriteRatio: 0.30, GapMean: 25, Model: Phased, WindowBytes: 16 * mib, PhaseLen: 15_000, Accesses: defaultAccesses},
+		{Name: "mcf", Suite: "spec", FootprintBytes: 448 * mib, WriteRatio: 0.08, GapMean: 6, Model: Chase, Accesses: defaultAccesses},
+		{Name: "omnetpp", Suite: "spec", FootprintBytes: 192 * mib, WriteRatio: 0.25, GapMean: 12, Model: Zipf, HotFraction: 0.15, ZipfS: 1.05, Accesses: defaultAccesses},
+		{Name: "xalancbmk", Suite: "spec", FootprintBytes: 96 * mib, WriteRatio: 0.18, GapMean: 20, Model: Zipf, HotFraction: 0.18, ZipfS: 1.08, Accesses: defaultAccesses},
+		{Name: "deepsjeng", Suite: "spec", FootprintBytes: 160 * mib, WriteRatio: 0.42, GapMean: 14, Model: Zipf, HotFraction: 0.15, ZipfS: 1.08, Accesses: defaultAccesses},
+		{Name: "leela", Suite: "spec", FootprintBytes: 24 * mib, WriteRatio: 0.20, GapMean: 70, Model: Zipf, HotFraction: 0.04, ZipfS: 1.35, Accesses: defaultAccesses},
+		{Name: "xz", Suite: "spec", FootprintBytes: 256 * mib, WriteRatio: 0.50, GapMean: 8, Model: Stream, Accesses: defaultAccesses},
+		{Name: "lbm", Suite: "spec", FootprintBytes: 384 * mib, WriteRatio: 0.47, GapMean: 7, Model: Stream, Accesses: defaultAccesses},
+		{Name: "cactuBSSN", Suite: "spec", FootprintBytes: 320 * mib, WriteRatio: 0.06, GapMean: 9, Model: Stream, Accesses: defaultAccesses},
+	}
+}
+
+// YCSB returns key-value-store workload mixes modeled after the YCSB
+// core workloads — the in-memory storage applications the paper's
+// abstract targets ("a 41% reduction in execution overhead ... for
+// in-memory storage applications"). Footprints and skew follow the
+// common YCSB setup: a large record space with a zipfian hot set.
+func YCSB() []Spec {
+	base := Spec{
+		Suite: "ycsb", FootprintBytes: 256 * mib, GapMean: 24,
+		Model: Zipf, HotFraction: 0.08, ZipfS: 1.1, Accesses: defaultAccesses,
+	}
+	a := base
+	a.Name, a.WriteRatio = "ycsb-a", 0.50 // update heavy
+	b := base
+	b.Name, b.WriteRatio = "ycsb-b", 0.05 // read mostly
+	c := base
+	c.Name, c.WriteRatio = "ycsb-c", 0.0 // read only
+	d := base
+	d.Name, d.WriteRatio = "ycsb-d", 0.05 // read latest: drifting hot set
+	d.Model, d.WindowBytes, d.PhaseLen = Phased, 16*mib, 20_000
+	f := base
+	f.Name, f.WriteRatio = "ycsb-f", 0.50 // read-modify-write
+	f.GapMean = 12
+	return []Spec{a, b, c, d, f}
+}
+
+// MultiProgramPairs returns the paper's §6.2 PARSEC pairs.
+func MultiProgramPairs() [][2]string {
+	return [][2]string{
+		{"bodytrack", "fluidanimate"},
+		{"swaptions", "streamcluster"},
+		{"x264", "freqmine"},
+	}
+}
+
+// All returns every workload across the PARSEC, SPEC, and YCSB
+// suites.
+func All() []Spec {
+	out := append(PARSEC(), SPEC()...)
+	return append(out, YCSB()...)
+}
+
+// ByName finds a spec in any suite.
+func ByName(name string) (Spec, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names lists every available workload, sorted.
+func Names() []string {
+	var out []string
+	for _, s := range All() {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Quickstart returns a tiny workload for examples and smoke tests.
+func Quickstart() Spec {
+	return Spec{
+		Name: "quickstart", Suite: "demo", FootprintBytes: 4 * mib,
+		WriteRatio: 0.3, GapMean: 10, Model: Zipf, HotFraction: 0.2,
+		ZipfS: 1.5, Accesses: 20_000,
+	}
+}
