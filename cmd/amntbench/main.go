@@ -1,6 +1,8 @@
 // Command amntbench regenerates the paper's evaluation: every figure
 // and table from §6, using the experiment drivers shared with the
-// repository's benchmark harness.
+// repository's benchmark harness. All drivers run on one shared
+// experiment engine, so identical cells (e.g. the volatile baselines
+// Figure 5, Figures 6+7 and Table 2 all need) simulate once.
 //
 // Examples:
 //
@@ -8,14 +10,18 @@
 //	amntbench -table 4            # recovery-time model
 //	amntbench -all -scale 0.25    # everything, quarter-length traces
 //	amntbench -ablation           # design-choice ablation studies
-//	amntbench -fig 6 -csv         # machine-readable output
+//	amntbench -fig 6 -format csv  # machine-readable output
+//	amntbench -all -parallel 8 -v # 8 workers, live progress on stderr
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -38,6 +44,36 @@ func slugify(title string) string {
 	return strings.Trim(b.String(), "-")
 }
 
+// progressLine renders one engine event for -v output.
+func progressLine(p experiments.Progress) string {
+	counts := fmt.Sprintf("[%d queued %d running %d done", p.Queued, p.Running, p.Done)
+	if p.Cached > 0 {
+		counts += fmt.Sprintf(" %d cached", p.Cached)
+	}
+	if p.Failed > 0 {
+		counts += fmt.Sprintf(" %d failed", p.Failed)
+	}
+	counts += "]"
+	switch p.Event {
+	case experiments.JobDone:
+		line := fmt.Sprintf("%s done   %s (%v", counts, p.Job, p.Wall.Round(time.Millisecond))
+		if p.Cycles > 0 {
+			line += fmt.Sprintf(", %d cycles", p.Cycles)
+		}
+		line += ")"
+		if p.ETA > 0 {
+			line += fmt.Sprintf(" eta %v", p.ETA.Round(time.Second))
+		}
+		return line
+	case experiments.JobCached:
+		return fmt.Sprintf("%s cached %s", counts, p.Job)
+	case experiments.JobFailed:
+		return fmt.Sprintf("%s FAILED %s: %v", counts, p.Job, p.Err)
+	default:
+		return fmt.Sprintf("%s %s %s", counts, p.Event, p.Job)
+	}
+}
+
 func main() {
 	var (
 		fig      = flag.Int("fig", 0, "figure to reproduce: 3, 4, 5, 6 (includes 7), 7, 8")
@@ -48,15 +84,48 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "trace length multiplier (smaller = faster)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		level    = flag.Int("level", 3, "AMNT subtree level")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel = flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS); results are identical at any width")
+		format   = flag.String("format", "table", "output format: table, csv, json")
+		csv      = flag.Bool("csv", false, "emit CSV (shorthand for -format csv)")
 		outDir   = flag.String("out", "", "also write each table as a CSV file into this directory")
-		verbose  = flag.Bool("v", false, "log per-run progress to stderr")
+		verbose  = flag.Bool("v", false, "stream live per-job progress to stderr")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Scale: *scale, Seed: *seed, SubtreeLevel: *level}
+	if *csv {
+		*format = "csv"
+	}
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "amntbench: unknown format %q (want table, csv or json)\n", *format)
+		os.Exit(2)
+	}
+
+	// Ctrl-C cancels in-flight simulations and exits with the
+	// aggregated error instead of killing the process mid-table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := experiments.Options{
+		Scale: *scale, Seed: *seed, SubtreeLevel: *level,
+		Parallel: *parallel, Context: ctx,
+	}
 	if *verbose {
 		opts.Log = os.Stderr
+		opts.Progress = func(p experiments.Progress) {
+			if p.Event == experiments.JobQueued {
+				return // queue events are noise at CLI granularity
+			}
+			fmt.Fprintln(os.Stderr, progressLine(p))
+		}
+	}
+	// One engine for every selected driver: shared pool, shared
+	// run-cache (Figure 5 / Figures 6+7 / Table 2 reuse baselines).
+	engine := experiments.NewEngine(opts)
+	opts = opts.WithEngine(engine)
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "engine: %d workers\n", engine.Parallelism())
 	}
 
 	if *outDir != "" {
@@ -66,9 +135,17 @@ func main() {
 		}
 	}
 	emit := func(t *stats.Table) {
-		if *csv {
+		switch *format {
+		case "csv":
 			fmt.Print(t.CSV())
-		} else {
+		case "json":
+			raw, err := json.MarshalIndent(t, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "amntbench:", err)
+				os.Exit(1)
+			}
+			fmt.Println(string(raw))
+		default:
 			fmt.Println(t.Render())
 		}
 		if *outDir != "" {

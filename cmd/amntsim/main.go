@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,11 +41,15 @@ func main() {
 		loadCkpt  = flag.String("load-checkpoint", "", "restore a machine checkpoint before the run")
 		replay    = flag.String("replay", "", "run from a recorded trace file instead of -workload")
 		statsFile = flag.String("stats-file", "", "also write gem5-style stats to this file")
-		list      = flag.Bool("list", false, "list workloads and protocols, then exit")
+		jsonOut   = flag.Bool("json", false, "print the result as JSON instead of the text report")
+		list      = flag.Bool("list", false, "list workloads and registered protocols, then exit")
 	)
 	flag.Parse()
 
 	if *list {
+		// PolicyNames reflects the mee protocol registry, so policies
+		// registered by other packages (the AMNT family lives in
+		// internal/core) appear here automatically.
 		fmt.Println("workloads:", strings.Join(workload.Names(), " "), "quickstart")
 		fmt.Println("protocols:", strings.Join(sim.PolicyNames(), " "))
 		return
@@ -166,27 +171,15 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("workloads:        %s\n", strings.Join(res.Workloads, "+"))
-	fmt.Printf("protocol:         %s\n", res.Policy)
-	fmt.Printf("cycles:           %d\n", res.Cycles)
-	fmt.Printf("instructions:     %d (OS: %d)\n", res.Instructions, res.OSInstructions)
-	fmt.Printf("CPI:              %.3f\n", res.CyclesPerInstruction())
-	fmt.Printf("accesses:         %d\n", res.Accesses)
-	fmt.Printf("L1 hit rate:      %.2f%%\n", 100*res.L1HitRate)
-	fmt.Printf("meta hit rate:    %.2f%%\n", 100*res.MetaHitRate)
-	fmt.Printf("MEE reads:        %d\n", res.Reads)
-	fmt.Printf("MEE writes:       %d\n", res.Writes)
-	fmt.Printf("device reads:     %d\n", res.DeviceReads)
-	fmt.Printf("device writes:    %d\n", res.DeviceWrites)
-	fmt.Printf("page faults:      %d\n", res.PageFaults)
-	st := m.Controller().Stats()
-	fmt.Printf("sync persists:    %d\n", st.SyncPersists.Value())
-	fmt.Printf("posted writes:    %d\n", st.PostedWrites.Value())
-	fmt.Printf("counter overflow: %d\n", st.Overflows.Value())
-	if res.SubtreeHitRate > 0 || res.Movements > 0 {
-		fmt.Printf("subtree hit rate: %.2f%%\n", 100*res.SubtreeHitRate)
-		fmt.Printf("subtree moves:    %d (%.2f per 1000 writes)\n",
-			res.Movements, 1000*float64(res.Movements)/float64(max64(res.Writes, 1)))
+	if *jsonOut {
+		raw, jerr := json.MarshalIndent(res, "", "  ")
+		if jerr != nil {
+			fmt.Fprintln(os.Stderr, "amntsim:", jerr)
+			os.Exit(1)
+		}
+		fmt.Println(string(raw))
+	} else {
+		printReport(res, m)
 	}
 
 	if *statsFile != "" {
@@ -232,6 +225,32 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("post-recovery integrity: OK")
+	}
+}
+
+// printReport writes the human-readable result summary.
+func printReport(res sim.Result, m *sim.Machine) {
+	fmt.Printf("workloads:        %s\n", strings.Join(res.Workloads, "+"))
+	fmt.Printf("protocol:         %s\n", res.Policy)
+	fmt.Printf("cycles:           %d\n", res.Cycles)
+	fmt.Printf("instructions:     %d (OS: %d)\n", res.Instructions, res.OSInstructions)
+	fmt.Printf("CPI:              %.3f\n", res.CyclesPerInstruction())
+	fmt.Printf("accesses:         %d\n", res.Accesses)
+	fmt.Printf("L1 hit rate:      %.2f%%\n", 100*res.L1HitRate)
+	fmt.Printf("meta hit rate:    %.2f%%\n", 100*res.MetaHitRate)
+	fmt.Printf("MEE reads:        %d\n", res.Reads)
+	fmt.Printf("MEE writes:       %d\n", res.Writes)
+	fmt.Printf("device reads:     %d\n", res.DeviceReads)
+	fmt.Printf("device writes:    %d\n", res.DeviceWrites)
+	fmt.Printf("page faults:      %d\n", res.PageFaults)
+	st := m.Controller().Stats()
+	fmt.Printf("sync persists:    %d\n", st.SyncPersists.Value())
+	fmt.Printf("posted writes:    %d\n", st.PostedWrites.Value())
+	fmt.Printf("counter overflow: %d\n", st.Overflows.Value())
+	if res.SubtreeHitRate > 0 || res.Movements > 0 {
+		fmt.Printf("subtree hit rate: %.2f%%\n", 100*res.SubtreeHitRate)
+		fmt.Printf("subtree moves:    %d (%.2f per 1000 writes)\n",
+			res.Movements, 1000*float64(res.Movements)/float64(max64(res.Writes, 1)))
 	}
 }
 

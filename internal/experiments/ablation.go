@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"amnt/internal/cache"
@@ -17,6 +18,11 @@ import (
 // and shows what it buys. They are not figures from the paper; they
 // back the paper's design claims ("the history buffer is lightweight",
 // "AMNT is agnostic to metadata cache size", ...) with measurements.
+//
+// Ablations that only vary sim.Config fields express their cells as
+// engine RunSpecs with a ConfigKey discriminator (so the run-cache
+// never conflates them with stock cells); ablations that need the
+// machine or policy object afterwards run as engine jobs.
 
 // movingHotspot is a workload whose hot region relocates every phase —
 // the adversarial-ish pattern that exercises hot-region tracking.
@@ -42,17 +48,38 @@ func AblationHistoryInterval(o Options) (*stats.Table, error) {
 	t := stats.NewTable("Ablation — AMNT hot-region tracking interval (moving hotspot)",
 		"interval", "cycles", "subtree hit", "movements", "flushed nodes", "history bytes")
 	spec := movingHotspot().Scale(o.Scale)
-	for _, interval := range []int{8, 16, 64, 256, 1024} {
-		cfg := o.machineFor("single")
-		policy := core.New(core.WithLevel(o.SubtreeLevel), core.WithInterval(interval))
-		res, err := sim.Run(cfg, policy, spec)
-		if err != nil {
-			return nil, err
+	intervals := []int{8, 16, 64, 256, 1024}
+	type cell struct {
+		res    sim.Result
+		policy *core.AMNT
+	}
+	cells := make([]cell, len(intervals))
+	jobs := make([]Job, len(intervals))
+	for i, interval := range intervals {
+		i, interval := i, interval
+		jobs[i] = Job{
+			Label: fmt.Sprintf("ablation-interval/%d", interval),
+			Fn: func(ctx context.Context) error {
+				cfg := o.machineFor("single")
+				policy := core.New(core.WithLevel(o.SubtreeLevel), core.WithInterval(interval))
+				res, err := sim.RunWithContext(ctx, cfg, policy, spec)
+				if err != nil {
+					return err
+				}
+				cells[i] = cell{res, policy}
+				return nil
+			},
 		}
-		t.AddRow(interval, res.Cycles,
-			fmt.Sprintf("%.1f%%", 100*policy.SubtreeHitRate()),
-			policy.Movements(), policy.FlushedNodes(),
-			policy.Overhead().VolOnChipBytes)
+	}
+	if err := o.engine.Do(o.ctx(), jobs...); err != nil {
+		return nil, err
+	}
+	for i, interval := range intervals {
+		c := cells[i]
+		t.AddRow(interval, c.res.Cycles,
+			fmt.Sprintf("%.1f%%", 100*c.policy.SubtreeHitRate()),
+			c.policy.Movements(), c.policy.FlushedNodes(),
+			c.policy.Overhead().VolOnChipBytes)
 	}
 	t.AddNote("the paper's 64-write interval balances reaction speed against movement churn at 96 B of SRAM")
 	return t, nil
@@ -68,29 +95,26 @@ func AblationMetaCache(o Options) (*stats.Table, error) {
 	t := stats.NewTable("Ablation — metadata cache size (canneal: poor metadata locality)",
 		"meta cache", "amnt norm", "anubis norm", "amnt meta hit", "anubis meta hit")
 	spec, _ := workload.ByName("canneal")
-	spec = spec.Scale(o.Scale)
-	for _, kb := range []int{8, 16, 32, 64, 128} {
-		run := func(name string) (sim.Result, error) {
-			cfg := o.machineFor("single")
-			cfg.MEE.MetaCacheBytes = kb << 10
-			policy, err := sim.PolicyByName(name, o.SubtreeLevel)
-			if err != nil {
-				return sim.Result{}, err
-			}
-			return sim.Run(cfg, policy, spec)
+	sizes := []int{8, 16, 32, 64, 128}
+	protos := []string{"volatile", "amnt", "anubis"}
+	var cells []RunSpec
+	for _, kb := range sizes {
+		kb := kb
+		for _, p := range protos {
+			cells = append(cells, RunSpec{
+				Label: fmt.Sprintf("ablation-metacache/%dkB/%s", kb, p),
+				Kind:  "single", Protocol: p, Specs: []workload.Spec{spec},
+				ConfigKey: fmt.Sprintf("meta=%dkB", kb),
+				Mutate:    func(cfg *sim.Config) { cfg.MEE.MetaCacheBytes = kb << 10 },
+			})
 		}
-		base, err := run("volatile")
-		if err != nil {
-			return nil, err
-		}
-		amnt, err := run("amnt")
-		if err != nil {
-			return nil, err
-		}
-		anubis, err := run("anubis")
-		if err != nil {
-			return nil, err
-		}
+	}
+	res, err := o.engine.RunAll(o.ctx(), o, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, kb := range sizes {
+		base, amnt, anubis := res[3*i], res[3*i+1], res[3*i+2]
 		t.AddRow(fmt.Sprintf("%d kB", kb),
 			float64(amnt.Cycles)/float64(base.Cycles),
 			float64(anubis.Cycles)/float64(base.Cycles),
@@ -112,25 +136,53 @@ func AblationCoalescing(o Options) (*stats.Table, error) {
 		"protocol", "coalescing", "cycles", "merged writes")
 	spec, _ := workload.ByName("lbm")
 	spec = spec.Scale(o.Scale)
-	for _, name := range []string{"leaf", "strict", "amnt"} {
+	names := []string{"leaf", "strict", "amnt"}
+	type combo struct {
+		name    string
+		disable bool
+	}
+	var combos []combo
+	for _, name := range names {
 		for _, disable := range []bool{false, true} {
-			cfg := o.machineFor("single")
-			cfg.MEE.NoCoalesce = disable
-			policy, err := sim.PolicyByName(name, o.SubtreeLevel)
-			if err != nil {
-				return nil, err
-			}
-			m := sim.NewMachine(cfg, policy, []workload.Spec{spec})
-			res, err := m.Run()
-			if err != nil {
-				return nil, err
-			}
-			state := "on"
-			if disable {
-				state = "off"
-			}
-			t.AddRow(name, state, res.Cycles, m.Controller().MergedWrites())
+			combos = append(combos, combo{name, disable})
 		}
+	}
+	type cell struct {
+		res    sim.Result
+		merged uint64
+	}
+	cells := make([]cell, len(combos))
+	jobs := make([]Job, len(combos))
+	for i, c := range combos {
+		i, c := i, c
+		jobs[i] = Job{
+			Label: fmt.Sprintf("ablation-coalesce/%s/disable=%v", c.name, c.disable),
+			Fn: func(ctx context.Context) error {
+				cfg := o.machineFor("single")
+				cfg.MEE.NoCoalesce = c.disable
+				policy, err := sim.PolicyByName(c.name, o.SubtreeLevel)
+				if err != nil {
+					return err
+				}
+				m := sim.NewMachine(cfg, policy, []workload.Spec{spec})
+				res, err := m.RunContext(ctx)
+				if err != nil {
+					return err
+				}
+				cells[i] = cell{res, m.Controller().MergedWrites()}
+				return nil
+			},
+		}
+	}
+	if err := o.engine.Do(o.ctx(), jobs...); err != nil {
+		return nil, err
+	}
+	for i, c := range combos {
+		state := "on"
+		if c.disable {
+			state = "off"
+		}
+		t.AddRow(c.name, state, cells[i].res.Cycles, cells[i].merged)
 	}
 	t.AddNote("real write-pending queues merge repeated updates to the same counter/HMAC block; modeling that is what separates leaf from strict")
 	return t, nil
@@ -145,22 +197,45 @@ func AblationStopLoss(o Options) (*stats.Table, error) {
 		"N", "cycles", "counter persists", "recovery data reads", "recovered?")
 	spec, _ := workload.ByName("xz")
 	spec = spec.Scale(o.Scale)
-	for _, n := range []uint64{1, 2, 4, 8, 16} {
-		cfg := o.machineFor("single")
-		policy := mee.NewOsiris(n)
-		m := sim.NewMachine(cfg, policy, []workload.Spec{spec})
-		res, err := m.Run()
-		if err != nil {
-			return nil, err
+	ns := []uint64{1, 2, 4, 8, 16}
+	type cell struct {
+		res       sim.Result
+		persists  uint64
+		dataReads uint64
+		recovered string
+	}
+	cells := make([]cell, len(ns))
+	jobs := make([]Job, len(ns))
+	for i, n := range ns {
+		i, n := i, n
+		jobs[i] = Job{
+			Label: fmt.Sprintf("ablation-stoploss/N=%d", n),
+			Fn: func(ctx context.Context) error {
+				cfg := o.machineFor("single")
+				policy := mee.NewOsiris(n)
+				m := sim.NewMachine(cfg, policy, []workload.Spec{spec})
+				res, err := m.RunContext(ctx)
+				if err != nil {
+					return err
+				}
+				persists := m.Controller().Device().Stats().RegionWrites[scm.Counter].Value()
+				m.Crash()
+				rep, rerr := m.Controller().Recover(m.Now())
+				recovered := "yes"
+				if rerr != nil {
+					recovered = "no"
+				}
+				cells[i] = cell{res, persists, rep.DataReads, recovered}
+				return nil
+			},
 		}
-		persists := m.Controller().Device().Stats().RegionWrites[scm.Counter].Value()
-		m.Crash()
-		rep, rerr := m.Controller().Recover(m.Now())
-		recovered := "yes"
-		if rerr != nil {
-			recovered = "no"
-		}
-		t.AddRow(n, res.Cycles, persists, rep.DataReads, recovered)
+	}
+	if err := o.engine.Do(o.ctx(), jobs...); err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
+		c := cells[i]
+		t.AddRow(n, c.res.Cycles, c.persists, c.dataReads, c.recovered)
 	}
 	t.AddNote("N=1 degenerates to leaf persistence; larger N trades counter write traffic for recovery replay work")
 	return t, nil
@@ -175,29 +250,26 @@ func AblationReadOverlap(o Options) (*stats.Table, error) {
 	t := stats.NewTable("Ablation — read MLP divisor (bodytrack)",
 		"overlap", "volatile cycles", "strict norm", "amnt norm")
 	spec, _ := workload.ByName("bodytrack")
-	spec = spec.Scale(o.Scale)
-	for _, ov := range []uint64{1, 2, 4, 8} {
-		run := func(name string) (sim.Result, error) {
-			cfg := o.machineFor("single")
-			cfg.MEE.ReadOverlap = ov
-			policy, err := sim.PolicyByName(name, o.SubtreeLevel)
-			if err != nil {
-				return sim.Result{}, err
-			}
-			return sim.Run(cfg, policy, spec)
+	overlaps := []uint64{1, 2, 4, 8}
+	protos := []string{"volatile", "strict", "amnt"}
+	var cells []RunSpec
+	for _, ov := range overlaps {
+		ov := ov
+		for _, p := range protos {
+			cells = append(cells, RunSpec{
+				Label: fmt.Sprintf("ablation-overlap/%d/%s", ov, p),
+				Kind:  "single", Protocol: p, Specs: []workload.Spec{spec},
+				ConfigKey: fmt.Sprintf("overlap=%d", ov),
+				Mutate:    func(cfg *sim.Config) { cfg.MEE.ReadOverlap = ov },
+			})
 		}
-		base, err := run("volatile")
-		if err != nil {
-			return nil, err
-		}
-		strict, err := run("strict")
-		if err != nil {
-			return nil, err
-		}
-		amnt, err := run("amnt")
-		if err != nil {
-			return nil, err
-		}
+	}
+	res, err := o.engine.RunAll(o.ctx(), o, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, ov := range overlaps {
+		base, strict, amnt := res[3*i], res[3*i+1], res[3*i+2]
 		t.AddRow(ov, base.Cycles,
 			float64(strict.Cycles)/float64(base.Cycles),
 			float64(amnt.Cycles)/float64(base.Cycles))
@@ -215,29 +287,26 @@ func AblationReplacement(o Options) (*stats.Table, error) {
 	t := stats.NewTable("Ablation — metadata cache replacement policy (bodytrack)",
 		"policy", "amnt norm", "anubis norm", "meta hit (amnt)")
 	spec, _ := workload.ByName("bodytrack")
-	spec = spec.Scale(o.Scale)
-	for _, repl := range []cache.Replacement{cache.LRU, cache.FIFO, cache.Random} {
-		run := func(name string) (sim.Result, error) {
-			cfg := o.machineFor("single")
-			cfg.MEE.MetaReplacement = repl
-			policy, err := sim.PolicyByName(name, o.SubtreeLevel)
-			if err != nil {
-				return sim.Result{}, err
-			}
-			return sim.Run(cfg, policy, spec)
+	repls := []cache.Replacement{cache.LRU, cache.FIFO, cache.Random}
+	protos := []string{"volatile", "amnt", "anubis"}
+	var cells []RunSpec
+	for _, repl := range repls {
+		repl := repl
+		for _, p := range protos {
+			cells = append(cells, RunSpec{
+				Label: fmt.Sprintf("ablation-replacement/%s/%s", repl, p),
+				Kind:  "single", Protocol: p, Specs: []workload.Spec{spec},
+				ConfigKey: "repl=" + repl.String(),
+				Mutate:    func(cfg *sim.Config) { cfg.MEE.MetaReplacement = repl },
+			})
 		}
-		base, err := run("volatile")
-		if err != nil {
-			return nil, err
-		}
-		amnt, err := run("amnt")
-		if err != nil {
-			return nil, err
-		}
-		anubis, err := run("anubis")
-		if err != nil {
-			return nil, err
-		}
+	}
+	res, err := o.engine.RunAll(o.ctx(), o, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, repl := range repls {
+		base, amnt, anubis := res[3*i], res[3*i+1], res[3*i+2]
 		t.AddRow(repl.String(),
 			float64(amnt.Cycles)/float64(base.Cycles),
 			float64(anubis.Cycles)/float64(base.Cycles),
@@ -261,34 +330,62 @@ func AblationMultiSubtree(o Options) (*stats.Table, error) {
 	a, _ := workload.ByName("bodytrack")
 	b, _ := workload.ByName("fluidanimate")
 	specs := []workload.Spec{a.Scale(o.Scale), b.Scale(o.Scale)}
-	for _, k := range []int{1, 2, 4, 8} {
-		cfg := o.machineFor("multi")
-		policy := core.NewMulti(k, o.SubtreeLevel)
-		m := sim.NewMachine(cfg, policy, specs)
-		res, err := m.Run()
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("K=%d registers", k), res.Cycles,
-			fmt.Sprintf("%.1f%%", 100*policy.SubtreeHitRate()),
-			byteString(policy.Overhead().NVOnChipBytes))
+	ks := []int{1, 2, 4, 8}
+	type cell struct {
+		cycles uint64
+		hit    float64
+		nv     uint64
 	}
-	cfg := o.machineFor("multi")
-	cfg.AMNTPlusPlus = true
-	policy := core.New(core.WithLevel(o.SubtreeLevel))
-	res, err := sim.Run(cfg, policy, specs...)
-	if err != nil {
+	cells := make([]cell, len(ks)+1)
+	jobs := make([]Job, 0, len(ks)+1)
+	for i, k := range ks {
+		i, k := i, k
+		jobs = append(jobs, Job{
+			Label: fmt.Sprintf("ablation-multisubtree/K=%d", k),
+			Fn: func(ctx context.Context) error {
+				cfg := o.machineFor("multi")
+				policy := core.NewMulti(k, o.SubtreeLevel)
+				m := sim.NewMachine(cfg, policy, specs)
+				res, err := m.RunContext(ctx)
+				if err != nil {
+					return err
+				}
+				cells[i] = cell{res.Cycles, policy.SubtreeHitRate(), policy.Overhead().NVOnChipBytes}
+				return nil
+			},
+		})
+	}
+	jobs = append(jobs, Job{
+		Label: "ablation-multisubtree/amnt++",
+		Fn: func(ctx context.Context) error {
+			cfg := o.machineFor("multi")
+			cfg.AMNTPlusPlus = true
+			policy := core.New(core.WithLevel(o.SubtreeLevel))
+			res, err := sim.RunWithContext(ctx, cfg, policy, specs...)
+			if err != nil {
+				return err
+			}
+			cells[len(ks)] = cell{res.Cycles, policy.SubtreeHitRate(), policy.Overhead().NVOnChipBytes}
+			return nil
+		},
+	})
+	if err := o.engine.Do(o.ctx(), jobs...); err != nil {
 		return nil, err
 	}
-	t.AddRow("K=1 + AMNT++ (software)", res.Cycles,
-		fmt.Sprintf("%.1f%%", 100*policy.SubtreeHitRate()),
-		byteString(policy.Overhead().NVOnChipBytes))
+	for i, k := range ks {
+		t.AddRow(fmt.Sprintf("K=%d registers", k), cells[i].cycles,
+			fmt.Sprintf("%.1f%%", 100*cells[i].hit), byteString(cells[i].nv))
+	}
+	last := cells[len(ks)]
+	t.AddRow("K=1 + AMNT++ (software)", last.cycles,
+		fmt.Sprintf("%.1f%%", 100*last.hit), byteString(last.nv))
 	t.AddNote("the paper's position (§5): biasing the allocator recovers the locality per-core registers would buy, without the flash")
 	return t, nil
 }
 
 // Ablations runs every ablation, returning tables in a stable order.
 func Ablations(o Options) ([]*stats.Table, error) {
+	o = o.withDefaults()
 	var out []*stats.Table
 	for _, f := range []func(Options) (*stats.Table, error){
 		AblationHistoryInterval,

@@ -1,0 +1,421 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"amnt/internal/sim"
+	"amnt/internal/workload"
+)
+
+// This file is the experiment engine: every figure/table cell — one
+// (workload set × protocol × machine config) simulation — becomes a
+// job executed on a bounded worker pool. Identical cells are
+// deduplicated through a keyed, memoized run-cache (several drivers
+// need the same volatile baseline, and Figure 5's cells reappear in
+// Figures 6+7 and Table 2), cancellation propagates from a
+// context.Context into sim.Machine.RunContext, worker panics become
+// errors, and every job failure is reported (errors.Join) instead of
+// the first one only. Progress is streamed as structured events
+// through Options.Progress.
+
+// Event identifies a progress transition.
+type Event int
+
+// Progress event kinds, in a job's lifecycle order.
+const (
+	// JobQueued: the job was submitted and is waiting for a worker.
+	JobQueued Event = iota
+	// JobStarted: the job occupies a worker and is simulating.
+	JobStarted
+	// JobDone: the job finished; Wall and Cycles are set.
+	JobDone
+	// JobCached: an identical cell already ran (or is running); the
+	// result was served from the run-cache without simulating.
+	JobCached
+	// JobFailed: the job returned an error or panicked; Err is set.
+	JobFailed
+)
+
+func (e Event) String() string {
+	switch e {
+	case JobQueued:
+		return "queued"
+	case JobStarted:
+		return "started"
+	case JobDone:
+		return "done"
+	case JobCached:
+		return "cached"
+	case JobFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("event(%d)", int(e))
+}
+
+// Progress is one structured engine event plus a consistent snapshot
+// of the engine's counters at the moment it fired. Callbacks are
+// serialized (never concurrent), so a renderer needs no locking.
+type Progress struct {
+	// Event says what just happened; Job is the cell's label.
+	Event Event
+	Job   string
+	// Queued/Running/Done/Cached/Failed count jobs by state across
+	// the engine's lifetime (shared by every driver bound to it).
+	Queued, Running, Done, Cached, Failed int
+	// Wall is the completed job's host wall time (JobDone/JobFailed).
+	Wall time.Duration
+	// Cycles is the completed job's simulated cycle count (JobDone).
+	Cycles uint64
+	// Elapsed is host time since the engine was created.
+	Elapsed time.Duration
+	// ETA estimates time to drain queued+running jobs from the mean
+	// completed-job wall time and the pool width (0 until one job has
+	// completed).
+	ETA time.Duration
+	// Err is the job's failure (JobFailed).
+	Err error
+}
+
+// RunSpec declares one cacheable simulation cell.
+type RunSpec struct {
+	// Label names the job in progress events and error messages
+	// ("figure4/lbm/amnt"). Derived from the other fields if empty.
+	Label string
+	// Kind is the machine configuration: "single", "multi" or
+	// "threads" (Options.machineFor).
+	Kind string
+	// Protocol is a registered policy name; "amnt++" also enables the
+	// modified kernel, as everywhere else.
+	Protocol string
+	// Specs are the unscaled workloads, one core each; the engine
+	// applies Options.Scale.
+	Specs []workload.Spec
+	// Level overrides Options.SubtreeLevel when non-zero (the Figures
+	// 6+7 sweep).
+	Level int
+	// Mutate, when non-nil, adjusts the machine config after
+	// machineFor (cache-size sweeps, the modified-kernel run of
+	// Table 2). A mutated cell is only cached when ConfigKey names
+	// the mutation.
+	Mutate func(*sim.Config)
+	// ConfigKey discriminates Mutate in the run-cache key
+	// ("meta=8kB"). Distinct mutations MUST use distinct keys.
+	ConfigKey string
+	// NoCache skips the run-cache entirely.
+	NoCache bool
+}
+
+func (rs RunSpec) label(level int) string {
+	if rs.Label != "" {
+		return rs.Label
+	}
+	l := rs.Kind + "/" + specName(rs.Specs) + "/" + rs.Protocol
+	if rs.Level != 0 {
+		l += fmt.Sprintf("/L%d", level)
+	}
+	if rs.ConfigKey != "" {
+		l += "/" + rs.ConfigKey
+	}
+	return l
+}
+
+// Job is one engine task that is not a cacheable cell — drivers use
+// it when they need the Machine itself (crash/recovery, policy-state
+// readouts, page histograms) rather than just the sim.Result.
+type Job struct {
+	Label string
+	Fn    func(ctx context.Context) error
+}
+
+// runKey identifies a cell in the run-cache. Two RunSpecs with equal
+// keys simulate identically: the key covers everything that reaches
+// the machine (config kind + mutation discriminator, protocol,
+// subtree level, seed, memory size, and the fully scaled workload
+// specs — Scale is folded into the spec string).
+type runKey struct {
+	kind, protocol string
+	level          int
+	seed           int64
+	memBytes       uint64
+	configKey      string
+	specs          string
+}
+
+type cacheEntry struct {
+	done chan struct{} // closed when res/err are final
+	res  sim.Result
+	err  error
+}
+
+// Engine executes experiment jobs on a bounded worker pool with a
+// shared run-cache. One engine may be shared by many drivers (and
+// many goroutines): cmd/amntbench binds a single engine across every
+// selected figure so baselines dedupe globally.
+type Engine struct {
+	parallel int
+	progress func(Progress)
+	start    time.Time
+	sem      chan struct{}
+
+	mu                                    sync.Mutex
+	cache                                 map[runKey]*cacheEntry
+	queued, running, done, cached, failed int
+	wallSum                               time.Duration
+
+	cbMu sync.Mutex // serializes progress callbacks
+}
+
+// NewEngine builds an engine from o's Parallel and Progress settings
+// (Parallel <= 0 means GOMAXPROCS). Drivers create a private engine
+// when Options is not bound to one; share an engine across drivers
+// with Options.WithEngine to share its run-cache and pool.
+func NewEngine(o Options) *Engine {
+	par := o.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		parallel: par,
+		progress: o.Progress,
+		start:    time.Now(),
+		sem:      make(chan struct{}, par),
+		cache:    make(map[runKey]*cacheEntry),
+	}
+}
+
+// Parallelism reports the worker-pool width.
+func (e *Engine) Parallelism() int { return e.parallel }
+
+// emit applies a counter transition and delivers the resulting
+// snapshot to the progress callback.
+func (e *Engine) emit(ev Event, job string, wall time.Duration, cycles uint64, jobErr error, transition func()) {
+	e.mu.Lock()
+	transition()
+	p := Progress{
+		Event:   ev,
+		Job:     job,
+		Queued:  e.queued,
+		Running: e.running,
+		Done:    e.done,
+		Cached:  e.cached,
+		Failed:  e.failed,
+		Wall:    wall,
+		Cycles:  cycles,
+		Elapsed: time.Since(e.start),
+		Err:     jobErr,
+	}
+	if remaining := e.queued + e.running; e.done > 0 && remaining > 0 {
+		avg := e.wallSum / time.Duration(e.done)
+		p.ETA = avg * time.Duration(remaining) / time.Duration(e.parallel)
+	}
+	cb := e.progress
+	e.mu.Unlock()
+	if cb != nil {
+		e.cbMu.Lock()
+		cb(p)
+		e.cbMu.Unlock()
+	}
+}
+
+// slotKey marks a context whose goroutine already holds a worker
+// slot, so nested engine calls do not deadlock the pool.
+type slotKey struct{}
+
+func (e *Engine) acquire(ctx context.Context) (release func(), err error) {
+	if ctx.Value(slotKey{}) != nil {
+		return func() {}, nil
+	}
+	select {
+	case e.sem <- struct{}{}:
+		return func() { <-e.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// execute runs fn on the pool with the full job lifecycle: queued →
+// started → done/failed events, panic recovery, and wall-time
+// accounting.
+func (e *Engine) execute(ctx context.Context, label string, fn func(ctx context.Context) (sim.Result, error)) (res sim.Result, err error) {
+	e.emit(JobQueued, label, 0, 0, nil, func() { e.queued++ })
+	release, aerr := e.acquire(ctx)
+	if aerr != nil {
+		e.emit(JobFailed, label, 0, 0, aerr, func() { e.queued--; e.failed++ })
+		return sim.Result{}, aerr
+	}
+	e.emit(JobStarted, label, 0, 0, nil, func() { e.queued--; e.running++ })
+	start := time.Now()
+	func() {
+		defer release()
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("%s: panic: %v\n%s", label, r, debug.Stack())
+			}
+		}()
+		res, err = fn(context.WithValue(ctx, slotKey{}, struct{}{}))
+	}()
+	wall := time.Since(start)
+	if err != nil {
+		err = fmt.Errorf("%s: %w", label, err)
+		e.emit(JobFailed, label, wall, 0, err, func() { e.running--; e.failed++ })
+		return res, err
+	}
+	e.emit(JobDone, label, wall, res.Cycles, nil, func() {
+		e.running--
+		e.done++
+		e.wallSum += wall
+	})
+	return res, nil
+}
+
+// Run executes one cell, serving it from the run-cache when an
+// identical cell already ran (or is in flight: concurrent duplicates
+// single-flight behind the first).
+func (e *Engine) Run(ctx context.Context, o Options, rs RunSpec) (sim.Result, error) {
+	o = o.withScalars()
+	level := rs.Level
+	if level == 0 {
+		level = o.SubtreeLevel
+	}
+	scaled := make([]workload.Spec, len(rs.Specs))
+	for i, s := range rs.Specs {
+		scaled[i] = s.Scale(o.Scale)
+	}
+	label := rs.label(level)
+
+	var entry *cacheEntry
+	var key runKey
+	if cacheable := !rs.NoCache && (rs.Mutate == nil || rs.ConfigKey != ""); cacheable {
+		key = runKey{
+			kind:      rs.Kind,
+			protocol:  rs.Protocol,
+			level:     level,
+			seed:      o.Seed,
+			memBytes:  o.MemoryBytes,
+			configKey: rs.ConfigKey,
+			specs:     fmt.Sprintf("%+v", scaled),
+		}
+		e.mu.Lock()
+		if hit, ok := e.cache[key]; ok {
+			e.mu.Unlock()
+			select {
+			case <-hit.done:
+			case <-ctx.Done():
+				return sim.Result{}, ctx.Err()
+			}
+			if hit.err != nil {
+				// The owner already emitted JobFailed; don't double-count.
+				return sim.Result{}, hit.err
+			}
+			e.emit(JobCached, label, 0, hit.res.Cycles, nil, func() { e.cached++ })
+			return hit.res, nil
+		}
+		entry = &cacheEntry{done: make(chan struct{})}
+		e.cache[key] = entry
+		e.mu.Unlock()
+	}
+
+	res, err := e.execute(ctx, label, func(ctx context.Context) (sim.Result, error) {
+		lo := o
+		lo.SubtreeLevel = level
+		cfg := lo.machineFor(rs.Kind)
+		cfg.AMNTPlusPlus = rs.Protocol == "amnt++"
+		if rs.Mutate != nil {
+			rs.Mutate(&cfg)
+		}
+		policy, perr := sim.PolicyByName(rs.Protocol, level)
+		if perr != nil {
+			return sim.Result{}, perr
+		}
+		m := sim.NewMachine(cfg, policy, scaled)
+		return m.RunContext(ctx)
+	})
+	if entry != nil {
+		if err != nil {
+			// Drop the poisoned entry so a later retry (or a run after a
+			// cancellation) simulates afresh; current waiters still see err.
+			e.mu.Lock()
+			delete(e.cache, key)
+			e.mu.Unlock()
+		}
+		entry.res, entry.err = res, err
+		close(entry.done)
+	}
+	return res, err
+}
+
+// RunAll executes every cell concurrently (bounded by the pool) and
+// returns results in input order. All failures are aggregated; a nil
+// error means every result is valid.
+func (e *Engine) RunAll(ctx context.Context, o Options, cells []RunSpec) ([]sim.Result, error) {
+	out := make([]sim.Result, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("%s: panic: %v\n%s", cells[i].label(0), r, debug.Stack())
+				}
+			}()
+			out[i], errs[i] = e.Run(ctx, o, cells[i])
+		}(i)
+	}
+	wg.Wait()
+	return out, e.join(ctx, errs)
+}
+
+// Do runs arbitrary jobs on the pool — the engine's replacement for
+// the old fanOut, minus its two failure modes: a panicking job is
+// converted to an error instead of crashing the process, and every
+// job's error is reported (errors.Join) instead of only the first.
+func (e *Engine) Do(ctx context.Context, jobs ...Job) error {
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("%s: panic: %v\n%s", jobs[i].Label, r, debug.Stack())
+				}
+			}()
+			_, errs[i] = e.execute(ctx, jobs[i].Label, func(ctx context.Context) (sim.Result, error) {
+				return sim.Result{}, jobs[i].Fn(ctx)
+			})
+		}(i)
+	}
+	wg.Wait()
+	return e.join(ctx, errs)
+}
+
+// join aggregates job errors in submission order, collapsing the
+// cancellation storm (every queued job failing with ctx.Err) into the
+// real failures plus one context error.
+func (e *Engine) join(ctx context.Context, errs []error) error {
+	kept := make([]error, 0, len(errs))
+	sawCtx := false
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			sawCtx = true
+			continue
+		}
+		kept = append(kept, err)
+	}
+	if sawCtx {
+		kept = append(kept, ctx.Err())
+	}
+	return errors.Join(kept...)
+}

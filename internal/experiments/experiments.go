@@ -1,17 +1,19 @@
 // Package experiments contains one driver per table and figure in the
-// paper's evaluation (§6). Each driver assembles the paper's machine
-// configuration, runs the synthetic workload suite under every
-// protocol, and renders the same rows/series the paper reports. The
-// drivers are shared by cmd/amntbench and the repository's benchmark
-// harness (bench_test.go).
+// paper's evaluation (§6). Each driver enumerates its cells —
+// (workload set × protocol × machine configuration) — as jobs on the
+// experiment engine (engine.go), which executes them on a bounded
+// worker pool with a memoized run-cache, cancellation, and structured
+// progress. The drivers are shared by cmd/amntbench and the
+// repository's benchmark harness (bench_test.go); cell outputs are
+// deterministic, so the rendered tables are bit-identical at any pool
+// width.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
-	"sync"
 
 	"amnt/internal/cpu"
 	"amnt/internal/mee"
@@ -34,9 +36,31 @@ type Options struct {
 	MemoryBytes uint64
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// Parallel bounds the engine's worker pool (0 = GOMAXPROCS).
+	// Simulated results are identical at any width; only wall-clock
+	// changes.
+	Parallel int
+	// Progress, when non-nil, receives one structured event per job
+	// transition (see Progress); callbacks are serialized.
+	Progress func(Progress)
+	// Context, when non-nil, cancels in-flight and queued simulations
+	// when it is done; drivers then return its error.
+	Context context.Context
+
+	engine *Engine
 }
 
-func (o Options) withDefaults() Options {
+// WithEngine binds o — and every driver called with the returned
+// Options — to e, sharing its worker pool and run-cache across
+// drivers. Without it each driver builds a private engine, which
+// still dedupes and parallelizes within that driver.
+func (o Options) WithEngine(e *Engine) Options {
+	o.engine = e
+	return o
+}
+
+// withScalars fills the numeric defaults only.
+func (o Options) withScalars() Options {
 	if o.Scale <= 0 {
 		o.Scale = 1
 	}
@@ -50,6 +74,22 @@ func (o Options) withDefaults() Options {
 		o.MemoryBytes = 8 << 30
 	}
 	return o
+}
+
+func (o Options) withDefaults() Options {
+	o = o.withScalars()
+	if o.engine == nil {
+		o.engine = NewEngine(o)
+	}
+	return o
+}
+
+// ctx returns the cancellation context drivers thread into the engine.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (o Options) logf(format string, args ...interface{}) {
@@ -91,94 +131,66 @@ func (o Options) machineFor(kind string) sim.Config {
 	return cfg
 }
 
-// runOne executes specs under the named protocol and returns the
-// result.
-func (o Options) runOne(kind, protocol string, specs ...workload.Spec) (sim.Result, error) {
-	cfg := o.machineFor(kind)
-	cfg.AMNTPlusPlus = protocol == "amnt++"
-	policy, err := sim.PolicyByName(protocol, o.SubtreeLevel)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	scaled := make([]workload.Spec, len(specs))
-	for i, s := range specs {
-		scaled[i] = s.Scale(o.Scale)
-	}
-	res, err := sim.Run(cfg, policy, scaled...)
-	if err != nil {
-		return sim.Result{}, fmt.Errorf("%s/%s: %w", protocol, specs[0].Name, err)
-	}
-	return res, nil
+// normRow is one workload set's normalized comparison: cycles per
+// protocol relative to the volatile baseline, plus the raw results
+// keyed by protocol ("volatile" included).
+type normRow struct {
+	norm map[string]float64
+	raw  map[string]sim.Result
 }
 
-// normalizedRow runs all compared protocols for one workload set and
-// returns cycles normalized to the volatile baseline, plus the raw
-// results keyed by protocol.
-func (o Options) normalizedRow(kind string, protocols []string, specs ...workload.Spec) (map[string]float64, map[string]sim.Result, error) {
-	base, err := o.runOne(kind, "volatile", specs...)
-	if err != nil {
-		return nil, nil, err
-	}
-	norm := make(map[string]float64, len(protocols))
-	raw := map[string]sim.Result{"volatile": base}
-	for _, p := range protocols {
-		res, err := o.runOne(kind, p, specs...)
-		if err != nil {
-			return nil, nil, err
+// normalizedRows runs volatile plus every compared protocol for every
+// workload set through the engine — one flat job list, so all cells
+// across all sets share the worker pool — and returns one normRow per
+// set, in order.
+func (o Options) normalizedRows(tag, kind string, protocols []string, sets [][]workload.Spec) ([]normRow, error) {
+	cells := make([]RunSpec, 0, len(sets)*(len(protocols)+1))
+	for _, set := range sets {
+		cells = append(cells, RunSpec{
+			Label: tag + "/" + specName(set) + "/volatile",
+			Kind:  kind, Protocol: "volatile", Specs: set,
+		})
+		for _, p := range protocols {
+			cells = append(cells, RunSpec{
+				Label: tag + "/" + specName(set) + "/" + p,
+				Kind:  kind, Protocol: p, Specs: set,
+			})
 		}
-		norm[p] = float64(res.Cycles) / float64(base.Cycles)
-		raw[p] = res
-		o.logf("  %-22s %-8s %.3f (meta hit %.1f%%, subtree hit %.1f%%)",
-			specName(specs), p, norm[p], 100*res.MetaHitRate, 100*res.SubtreeHitRate)
 	}
-	return norm, raw, nil
+	res, err := o.engine.RunAll(o.ctx(), o, cells)
+	if err != nil {
+		return nil, err
+	}
+	stride := len(protocols) + 1
+	rows := make([]normRow, len(sets))
+	for i, set := range sets {
+		base := res[i*stride]
+		norm := make(map[string]float64, len(protocols))
+		raw := map[string]sim.Result{"volatile": base}
+		for j, p := range protocols {
+			r := res[i*stride+1+j]
+			norm[p] = float64(r.Cycles) / float64(base.Cycles)
+			raw[p] = r
+			o.logf("  %-22s %-8s %.3f (meta hit %.1f%%, subtree hit %.1f%%)",
+				specName(set), p, norm[p], 100*r.MetaHitRate, 100*r.SubtreeHitRate)
+		}
+		rows[i] = normRow{norm: norm, raw: raw}
+	}
+	return rows, nil
 }
 
-// fanOut runs fn for every index in [0, n) across min(n, GOMAXPROCS)
-// goroutines and returns the first error. Experiment runs are
-// independent machines, so the paper's per-workload sweeps
-// parallelize perfectly; results are stored by index, keeping output
-// deterministic.
-func fanOut(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+func singles(suite []workload.Spec) [][]workload.Spec {
+	sets := make([][]workload.Spec, len(suite))
+	for i, s := range suite {
+		sets[i] = []workload.Spec{s}
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next int
-		err  error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				failed := err != nil
-				mu.Unlock()
-				if failed || i >= n {
-					return
-				}
-				if e := fn(i); e != nil {
-					mu.Lock()
-					if err == nil {
-						err = e
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return err
+	return sets
+}
+
+func pairSpecs(pair [2]string) []workload.Spec {
+	a, _ := workload.ByName(pair[0])
+	b, _ := workload.ByName(pair[1])
+	return []workload.Spec{a, b}
 }
 
 func specName(specs []workload.Spec) string {
@@ -205,26 +217,34 @@ func Figure3(o Options) (*stats.Table, error) {
 	lbm, _ := workload.ByName("lbm")
 	perl, _ := workload.ByName("perlbench")
 
-	runHist := func(kind string, specs ...workload.Spec) (*stats.Histogram, [][]uint64, error) {
-		cfg := o.machineFor(kind)
-		cfg.CollectPageHist = true
-		scaled := make([]workload.Spec, len(specs))
-		for i, s := range specs {
-			scaled[i] = s.Scale(o.Scale)
-		}
-		m := sim.NewMachine(cfg, mee.NewVolatile(), scaled)
-		res, err := m.Run()
-		if err != nil {
-			return nil, nil, err
-		}
-		return res.PageHist, m.ProcessPages(), nil
+	// These two runs need the machine (page histogram + per-process
+	// page sets), so they are engine jobs rather than cacheable cells.
+	var single, multi *stats.Histogram
+	var multiPages [][]uint64
+	histJob := func(kind string, hist **stats.Histogram, pages *[][]uint64, specs ...workload.Spec) Job {
+		return Job{Label: "figure3/" + kind, Fn: func(ctx context.Context) error {
+			cfg := o.machineFor(kind)
+			cfg.CollectPageHist = true
+			scaled := make([]workload.Spec, len(specs))
+			for i, s := range specs {
+				scaled[i] = s.Scale(o.Scale)
+			}
+			m := sim.NewMachine(cfg, mee.NewVolatile(), scaled)
+			res, err := m.RunContext(ctx)
+			if err != nil {
+				return err
+			}
+			*hist = res.PageHist
+			if pages != nil {
+				*pages = m.ProcessPages()
+			}
+			return nil
+		}}
 	}
-	single, _, err := runHist("single", lbm)
-	if err != nil {
-		return nil, err
-	}
-	multi, multiPages, err := runHist("multi", perl, lbm)
-	if err != nil {
+	if err := o.engine.Do(o.ctx(),
+		histJob("single", &single, nil, lbm),
+		histJob("multi", &multi, &multiPages, perl, lbm),
+	); err != nil {
 		return nil, err
 	}
 
@@ -319,22 +339,17 @@ func hotRegionShare(h *stats.Histogram, maxPages uint64, buckets, k int) float64
 func Figure4(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
 	o.logf("Figure 4: single-program PARSEC, normalized cycles")
+	suite := workload.PARSEC()
+	rows, err := o.normalizedRows("figure4", "single", comparedProtocols, singles(suite))
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 4 — normalized cycles, single-program PARSEC (lower is better)",
 		append([]string{"workload"}, comparedProtocols...)...)
 	perProto := make(map[string][]float64)
 	var cannealNote string
-	suite := workload.PARSEC()
-	norms := make([]map[string]float64, len(suite))
-	raws := make([]map[string]sim.Result, len(suite))
-	if err := fanOut(len(suite), func(i int) error {
-		var err error
-		norms[i], raws[i], err = o.normalizedRow("single", comparedProtocols, suite[i])
-		return err
-	}); err != nil {
-		return nil, err
-	}
 	for i, spec := range suite {
-		norm, raw := norms[i], raws[i]
+		norm, raw := rows[i].norm, rows[i].raw
 		row := []interface{}{spec.Name}
 		for _, p := range comparedProtocols {
 			row = append(row, norm[p])
@@ -368,21 +383,25 @@ func Figure4(o Options) (*stats.Table, error) {
 func Figure5(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
 	o.logf("Figure 5: multiprogram PARSEC pairs, normalized cycles")
+	pairs := workload.MultiProgramPairs()
+	sets := make([][]workload.Spec, len(pairs))
+	for i, pair := range pairs {
+		sets[i] = pairSpecs(pair)
+	}
+	rows, err := o.normalizedRows("figure5", "multi", comparedProtocols, sets)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 5 — normalized cycles, multiprogram PARSEC (lower is better)",
 		append([]string{"pair"}, comparedProtocols...)...)
-	for _, pair := range workload.MultiProgramPairs() {
-		a, _ := workload.ByName(pair[0])
-		b, _ := workload.ByName(pair[1])
-		norm, raw, err := o.normalizedRow("multi", comparedProtocols, a, b)
-		if err != nil {
-			return nil, err
-		}
+	for i, pair := range pairs {
+		norm, raw := rows[i].norm, rows[i].raw
 		row := []interface{}{pair[0] + "+" + pair[1]}
 		for _, p := range comparedProtocols {
 			row = append(row, norm[p])
 		}
 		t.AddRow(row...)
-		o.logf("  %s: amnt subtree hit %.1f%% -> amnt++ %.1f%%", specName([]workload.Spec{a, b}),
+		o.logf("  %s: amnt subtree hit %.1f%% -> amnt++ %.1f%%", specName(sets[i]),
 			100*raw["amnt"].SubtreeHitRate, 100*raw["amnt++"].SubtreeHitRate)
 	}
 	t.AddNote("paper: amnt++ raises body+fluid subtree hit rate 91%% -> 97%% and closes the gap to leaf")
@@ -394,26 +413,24 @@ func Figure5(o Options) (*stats.Table, error) {
 func Figure8(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
 	o.logf("Figure 8: SPEC CPU2017, normalized cycles")
+	suite := workload.SPEC()
+	sets := make([][]workload.Spec, len(suite))
+	for i, spec := range suite {
+		// Four threads of the same program share one address space.
+		sets[i] = []workload.Spec{spec, spec, spec, spec}
+	}
+	rows, err := o.normalizedRows("figure8", "threads", Figure8Protocols, sets)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Figure 8 — normalized cycles, SPEC CPU2017 (lower is better)",
 		append([]string{"workload"}, Figure8Protocols...)...)
 	perProto := make(map[string][]float64)
-	suite := workload.SPEC()
-	norms := make([]map[string]float64, len(suite))
-	if err := fanOut(len(suite), func(i int) error {
-		// Four threads of the same program share one address space.
-		spec := suite[i]
-		specs := []workload.Spec{spec, spec, spec, spec}
-		var err error
-		norms[i], _, err = o.normalizedRow("threads", Figure8Protocols, specs...)
-		return err
-	}); err != nil {
-		return nil, err
-	}
 	for i, spec := range suite {
 		row := []interface{}{spec.Name}
 		for _, p := range Figure8Protocols {
-			row = append(row, norms[i][p])
-			perProto[p] = append(perProto[p], norms[i][p])
+			row = append(row, rows[i].norm[p])
+			perProto[p] = append(perProto[p], rows[i].norm[p])
 		}
 		t.AddRow(row...)
 	}
@@ -445,52 +462,41 @@ func Figures6And7(o Options) (perf, hits *stats.Table, err error) {
 	hits = stats.NewTable("Figure 7 — subtree hit rate vs subtree level", header...)
 	pairs := workload.MultiProgramPairs()
 	protos := []string{"amnt", "amnt++"}
-	type cellResult struct {
-		norm float64
-		hit  float64
-	}
-	// One flat job per (pair, protocol, level); the volatile baselines
-	// run first, once per pair.
-	bases := make([]sim.Result, len(pairs))
-	if err := fanOut(len(pairs), func(i int) error {
-		a, _ := workload.ByName(pairs[i][0])
-		b, _ := workload.ByName(pairs[i][1])
-		var err error
-		bases[i], err = o.runOne("multi", "volatile", a, b)
-		return err
-	}); err != nil {
-		return nil, nil, err
-	}
-	cells := make([]cellResult, len(pairs)*len(protos)*len(SubtreeLevels))
-	if err := fanOut(len(cells), func(j int) error {
-		pi := j / (len(protos) * len(SubtreeLevels))
-		rem := j % (len(protos) * len(SubtreeLevels))
-		proto := protos[rem/len(SubtreeLevels)]
-		level := SubtreeLevels[rem%len(SubtreeLevels)]
-		a, _ := workload.ByName(pairs[pi][0])
-		b, _ := workload.ByName(pairs[pi][1])
-		lo := o
-		lo.SubtreeLevel = level
-		res, err := lo.runOne("multi", proto, a, b)
-		if err != nil {
-			return err
+
+	// One flat cell list: per pair one volatile baseline plus the
+	// (protocol × level) grid. No barrier between baselines and grid —
+	// the engine interleaves everything on the pool; run-cache keys
+	// keep the levels distinct.
+	cells := make([]RunSpec, 0, len(pairs)*(1+len(protos)*len(SubtreeLevels)))
+	for _, pair := range pairs {
+		specs := pairSpecs(pair)
+		cells = append(cells, RunSpec{
+			Label: "figures6+7/" + specName(specs) + "/volatile",
+			Kind:  "multi", Protocol: "volatile", Specs: specs,
+		})
+		for _, proto := range protos {
+			for _, level := range SubtreeLevels {
+				cells = append(cells, RunSpec{
+					Label: fmt.Sprintf("figures6+7/%s/%s/L%d", specName(specs), proto, level),
+					Kind:  "multi", Protocol: proto, Specs: specs, Level: level,
+				})
+			}
 		}
-		cells[j] = cellResult{
-			norm: float64(res.Cycles) / float64(bases[pi].Cycles),
-			hit:  res.SubtreeHitRate,
-		}
-		return nil
-	}); err != nil {
-		return nil, nil, err
 	}
+	res, rerr := o.engine.RunAll(o.ctx(), o, cells)
+	if rerr != nil {
+		return nil, nil, rerr
+	}
+	stride := 1 + len(protos)*len(SubtreeLevels)
 	for pi, pair := range pairs {
+		base := res[pi*stride]
 		for pr, proto := range protos {
 			perfRow := []interface{}{pair[0] + "+" + pair[1], proto}
 			hitRow := []interface{}{pair[0] + "+" + pair[1], proto}
 			for li := range SubtreeLevels {
-				c := cells[pi*len(protos)*len(SubtreeLevels)+pr*len(SubtreeLevels)+li]
-				perfRow = append(perfRow, c.norm)
-				hitRow = append(hitRow, c.hit)
+				r := res[pi*stride+1+pr*len(SubtreeLevels)+li]
+				perfRow = append(perfRow, float64(r.Cycles)/float64(base.Cycles))
+				hitRow = append(hitRow, r.SubtreeHitRate)
 			}
 			perf.AddRow(perfRow...)
 			hits.AddRow(hitRow...)
@@ -511,28 +517,31 @@ func Figures6And7(o Options) (perf, hits *stats.Table, err error) {
 func Table2(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
 	o.logf("Table 2: modified OS cost")
+	pairs := workload.MultiProgramPairs()
+	cells := make([]RunSpec, 0, 2*len(pairs))
+	for _, pair := range pairs {
+		specs := pairSpecs(pair)
+		cells = append(cells,
+			RunSpec{
+				Label: "table2/" + specName(specs) + "/stock",
+				Kind:  "multi", Protocol: "volatile", Specs: specs,
+			},
+			RunSpec{
+				Label: "table2/" + specName(specs) + "/modified",
+				Kind:  "multi", Protocol: "volatile", Specs: specs,
+				ConfigKey: "kernel=amnt++",
+				Mutate:    func(cfg *sim.Config) { cfg.AMNTPlusPlus = true },
+			},
+		)
+	}
+	res, err := o.engine.RunAll(o.ctx(), o, cells)
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Table 2 — impact of the modified OS (multiprogram)",
 		"pair", "normalized performance", "instruction overhead")
-	runKernel := func(modified bool, specs ...workload.Spec) (sim.Result, error) {
-		cfg := o.machineFor("multi")
-		cfg.AMNTPlusPlus = modified
-		scaled := make([]workload.Spec, len(specs))
-		for i, s := range specs {
-			scaled[i] = s.Scale(o.Scale)
-		}
-		return sim.Run(cfg, mee.NewVolatile(), scaled...)
-	}
-	for _, pair := range workload.MultiProgramPairs() {
-		a, _ := workload.ByName(pair[0])
-		b, _ := workload.ByName(pair[1])
-		plain, err := runKernel(false, a, b)
-		if err != nil {
-			return nil, err
-		}
-		modified, err := runKernel(true, a, b)
-		if err != nil {
-			return nil, err
-		}
+	for i, pair := range pairs {
+		plain, modified := res[2*i], res[2*i+1]
 		t.AddRow(pair[0]+"+"+pair[1],
 			float64(modified.Cycles)/float64(plain.Cycles),
 			float64(modified.Instructions)/float64(plain.Instructions))
@@ -542,7 +551,9 @@ func Table2(o Options) (*stats.Table, error) {
 }
 
 // Table3 reports the hardware overhead comparison for a 64 kB
-// metadata cache, straight from each policy's Overhead().
+// metadata cache, straight from each policy's Overhead(). No
+// simulation runs: attaching the machine resolves cache-size-
+// dependent overheads, so this driver stays off the engine.
 func Table3(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
 	t := stats.NewTable("Table 3 — hardware overhead (64 kB metadata cache)",
@@ -588,37 +599,63 @@ func Table4Measured(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
 	o.logf("Table 4 (measured): functional recovery scaling")
 	model := recovery.DefaultModel()
-	t := stats.NewTable("Table 4 (measured) — functional recovery on small memories",
-		"memory", "protocol", "counter reads", "node writes", "modeled time")
+
+	type combo struct {
+		memBytes uint64
+		proto    string
+	}
+	var combos []combo
 	for _, memBytes := range []uint64{64 << 20, 256 << 20} {
 		for _, proto := range []string{"leaf", "amnt", "anubis", "strict"} {
-			cfg := sim.DefaultConfig()
-			cfg.MemoryBytes = memBytes
-			cfg.Seed = o.Seed
-			cfg.SubtreeLevel = o.SubtreeLevel
-			policy, err := sim.PolicyByName(proto, o.SubtreeLevel)
-			if err != nil {
-				return nil, err
-			}
-			// Fixed-size fill (independent of Scale): the point is to
-			// populate enough dirty state that recovery has work.
-			spec := workload.Spec{
-				Name: "fill", Suite: "bench", FootprintBytes: memBytes / 2,
-				WriteRatio: 0.6, GapMean: 2, Model: workload.Chase,
-				Accesses: 60_000,
-			}
-			m := sim.NewMachine(cfg, policy, []workload.Spec{spec})
-			if _, err := m.Run(); err != nil {
-				return nil, err
-			}
-			m.Crash()
-			rep, err := m.Controller().Recover(m.Now())
-			if err != nil {
-				return nil, fmt.Errorf("%s@%d: %w", proto, memBytes, err)
-			}
-			t.AddRow(byteString(memBytes), proto, rep.CounterReads, rep.NodeWrites,
-				model.FromReport(rep).String())
+			combos = append(combos, combo{memBytes, proto})
 		}
+	}
+	// Recovery needs the crashed machine, so these are engine jobs.
+	reports := make([]mee.RecoveryReport, len(combos))
+	jobs := make([]Job, len(combos))
+	for i, c := range combos {
+		i, c := i, c
+		jobs[i] = Job{
+			Label: fmt.Sprintf("table4measured/%s@%s", c.proto, byteString(c.memBytes)),
+			Fn: func(ctx context.Context) error {
+				cfg := sim.DefaultConfig()
+				cfg.MemoryBytes = c.memBytes
+				cfg.Seed = o.Seed
+				cfg.SubtreeLevel = o.SubtreeLevel
+				policy, err := sim.PolicyByName(c.proto, o.SubtreeLevel)
+				if err != nil {
+					return err
+				}
+				// Fixed-size fill (independent of Scale): the point is to
+				// populate enough dirty state that recovery has work.
+				spec := workload.Spec{
+					Name: "fill", Suite: "bench", FootprintBytes: c.memBytes / 2,
+					WriteRatio: 0.6, GapMean: 2, Model: workload.Chase,
+					Accesses: 60_000,
+				}
+				m := sim.NewMachine(cfg, policy, []workload.Spec{spec})
+				if _, err := m.RunContext(ctx); err != nil {
+					return err
+				}
+				m.Crash()
+				rep, err := m.Controller().Recover(m.Now())
+				if err != nil {
+					return fmt.Errorf("%s@%d: %w", c.proto, c.memBytes, err)
+				}
+				reports[i] = rep
+				return nil
+			},
+		}
+	}
+	if err := o.engine.Do(o.ctx(), jobs...); err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Table 4 (measured) — functional recovery on small memories",
+		"memory", "protocol", "counter reads", "node writes", "modeled time")
+	for i, c := range combos {
+		rep := reports[i]
+		t.AddRow(byteString(c.memBytes), c.proto, rep.CounterReads, rep.NodeWrites,
+			model.FromReport(rep).String())
 	}
 	t.AddNote("leaf traffic scales with the touched footprint; amnt is bounded by one subtree region; strict is free")
 	return t, nil

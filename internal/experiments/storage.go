@@ -17,21 +17,17 @@ var storageProtocols = []string{"leaf", "strict", "plp", "triad", "anubis", "bmf
 func Storage(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
 	o.logf("Storage: YCSB-style in-memory store mixes")
+	suite := workload.YCSB()
+	rows, err := o.normalizedRows("storage", "single", storageProtocols, singles(suite))
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("In-memory storage (YCSB mixes) — normalized cycles (lower is better)",
 		append([]string{"mix"}, storageProtocols...)...)
 	perProto := make(map[string][]float64)
 	var amntVsAnubis []float64
-	suite := workload.YCSB()
-	norms := make([]map[string]float64, len(suite))
-	if err := fanOut(len(suite), func(i int) error {
-		var err error
-		norms[i], _, err = o.normalizedRow("single", storageProtocols, suite[i])
-		return err
-	}); err != nil {
-		return nil, err
-	}
 	for i, spec := range suite {
-		norm := norms[i]
+		norm := rows[i].norm
 		row := []interface{}{spec.Name}
 		for _, p := range storageProtocols {
 			row = append(row, norm[p])

@@ -1,0 +1,116 @@
+package mee
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// PolicyOptions parameterizes policy construction through the
+// registry. Zero values select the defaults each protocol's paper
+// uses, so mee.NewPolicy(name, mee.PolicyOptions{}) always builds a
+// sensible instance.
+type PolicyOptions struct {
+	// SubtreeLevel is the fast-subtree level for the AMNT family and
+	// the indirection table level for indirect (paper numbering,
+	// root = 1). Default 3, per Table 1.
+	SubtreeLevel int
+	// Registers is the NV fast-subtree register count for amnt-multi
+	// (the §5 per-core-subtrees alternative). Default 2.
+	Registers int
+	// StopLoss is Osiris's stop-loss interval N. Default 4, as in the
+	// original work.
+	StopLoss uint64
+	// TriadLevels is the number of tree levels Triad-NVM persists.
+	// Default 2.
+	TriadLevels int
+}
+
+// WithDefaults fills unset fields with each protocol's default.
+func (o PolicyOptions) WithDefaults() PolicyOptions {
+	if o.SubtreeLevel <= 0 {
+		o.SubtreeLevel = 3
+	}
+	if o.Registers <= 0 {
+		o.Registers = 2
+	}
+	if o.StopLoss == 0 {
+		o.StopLoss = 4
+	}
+	if o.TriadLevels <= 0 {
+		o.TriadLevels = 2
+	}
+	return o
+}
+
+// Factory builds one policy instance from options.
+type Factory func(PolicyOptions) Policy
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Factory)
+)
+
+// Register makes a policy constructable by name through NewPolicy.
+// Protocol packages call it from an init() — internal/mee registers
+// the baseline and related-work protocols below, internal/core
+// registers the AMNT family — so importing a protocol package is all
+// it takes to make its policies selectable everywhere (drivers,
+// cmd/amntsim -protocol, cmd/amntbench). Register panics on an empty
+// name, a nil factory, or a duplicate registration: all three are
+// programmer errors that should fail at process start, not at first
+// lookup.
+func Register(name string, f Factory) {
+	if name == "" {
+		panic("mee: Register with empty policy name")
+	}
+	if f == nil {
+		panic(fmt.Sprintf("mee: Register(%q) with nil factory", name))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("mee: Register(%q) called twice", name))
+	}
+	registry[name] = f
+}
+
+// NewPolicy constructs a registered policy by name.
+func NewPolicy(name string, opts PolicyOptions) (Policy, error) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("mee: unknown policy %q (registered: %s)",
+			name, strings.Join(Registered(), ", "))
+	}
+	return f(opts.WithDefaults()), nil
+}
+
+// Registered returns the sorted names of every registered policy.
+func Registered() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// The baseline and related-work protocols implemented in this package
+// register themselves here; the AMNT family registers from
+// internal/core's init().
+func init() {
+	Register("volatile", func(PolicyOptions) Policy { return NewVolatile() })
+	Register("strict", func(PolicyOptions) Policy { return NewStrict() })
+	Register("leaf", func(PolicyOptions) Policy { return NewLeaf() })
+	Register("osiris", func(o PolicyOptions) Policy { return NewOsiris(o.StopLoss) })
+	Register("anubis", func(PolicyOptions) Policy { return NewAnubis() })
+	Register("bmf", func(PolicyOptions) Policy { return NewBMF() })
+	Register("battery", func(PolicyOptions) Policy { return NewBattery() })
+	Register("plp", func(PolicyOptions) Policy { return NewPLP() })
+	Register("triad", func(o PolicyOptions) Policy { return NewTriad(o.TriadLevels) })
+}

@@ -1,0 +1,81 @@
+package mee
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestRegisteredBuiltins(t *testing.T) {
+	names := Registered()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Registered() not sorted: %v", names)
+	}
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range []string{"volatile", "strict", "leaf", "osiris", "anubis", "bmf", "battery", "plp", "triad"} {
+		if !have[want] {
+			t.Fatalf("builtin %q not registered (have %v)", want, names)
+		}
+	}
+}
+
+func TestNewPolicyByName(t *testing.T) {
+	for _, name := range []string{"volatile", "strict", "leaf", "osiris", "anubis", "bmf", "battery", "plp", "triad"} {
+		p, err := NewPolicy(name, PolicyOptions{})
+		if err != nil {
+			t.Fatalf("NewPolicy(%s): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("NewPolicy(%s).Name() = %s", name, p.Name())
+		}
+	}
+}
+
+func TestNewPolicyUnknown(t *testing.T) {
+	_, err := NewPolicy("bogus", PolicyOptions{})
+	if err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("err = %v, want unknown-policy error", err)
+	}
+	// The error names the live registry so typos are self-diagnosing.
+	if !strings.Contains(err.Error(), "volatile") {
+		t.Fatalf("err %v does not list registered policies", err)
+	}
+}
+
+func TestPolicyOptionsDefaults(t *testing.T) {
+	o := PolicyOptions{}.WithDefaults()
+	if o.SubtreeLevel != 3 || o.Registers != 2 || o.StopLoss != 4 || o.TriadLevels != 2 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	// Explicit values survive.
+	o = PolicyOptions{SubtreeLevel: 5, StopLoss: 8}.WithDefaults()
+	if o.SubtreeLevel != 5 || o.StopLoss != 8 {
+		t.Fatalf("explicit options clobbered: %+v", o)
+	}
+	// The stop-loss option reaches the factory.
+	p, err := NewPolicy("osiris", PolicyOptions{StopLoss: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.(*Osiris).N != 9 {
+		t.Fatalf("osiris N = %d, want 9", p.(*Osiris).N)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty name", func() { Register("", func(PolicyOptions) Policy { return NewVolatile() }) })
+	mustPanic("nil factory", func() { Register("x", nil) })
+	mustPanic("duplicate", func() { Register("volatile", func(PolicyOptions) Policy { return NewVolatile() }) })
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"amnt/internal/mee"
+	"amnt/internal/workload"
+)
+
+func ctxSpec() workload.Spec {
+	return workload.Spec{
+		Name: "ctx", Suite: "test", FootprintBytes: 16 << 20,
+		WriteRatio: 0.5, GapMean: 4, Model: workload.Chase,
+		Accesses: 5_000_000,
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemoryBytes = 64 << 20
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := RunWithContext(ctx, cfg, mee.NewVolatile(), ctxSpec())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// 5M accesses take seconds; a pre-cancelled run must abort almost
+	// immediately (bound is generous for slow CI).
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancelled run took %v", d)
+	}
+}
+
+func TestRunContextMidRunCancel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemoryBytes = 64 << 20
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := RunWithContext(ctx, cfg, mee.NewVolatile(), ctxSpec())
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want nil or context.Canceled", err)
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemoryBytes = 64 << 20
+	spec := ctxSpec()
+	spec.Accesses = 20_000
+	a, err := Run(cfg, mee.NewVolatile(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWithContext(context.Background(), cfg, mee.NewVolatile(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Accesses != b.Accesses {
+		t.Fatalf("RunContext diverged from Run: %+v vs %+v", a, b)
+	}
+}
+
+func TestResultJSONStable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemoryBytes = 64 << 20
+	spec := ctxSpec()
+	spec.Accesses = 10_000
+	res, err := Run(cfg, mee.NewVolatile(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"workloads", "policy", "cycles", "instructions", "os_instructions",
+		"accesses", "reads", "writes", "meta_hit_rate", "l1_hit_rate",
+		"page_faults", "subtree_hit_rate", "movements", "device_reads",
+		"device_writes",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("result JSON missing %q: %s", key, raw)
+		}
+	}
+	if _, ok := m["PageHist"]; ok {
+		t.Fatal("PageHist must not be encoded")
+	}
+	var back Result
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cycles != res.Cycles || back.Policy != res.Policy {
+		t.Fatalf("round trip lost fields: %+v vs %+v", back, res)
+	}
+}

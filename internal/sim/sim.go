@@ -18,6 +18,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math/rand"
@@ -76,31 +77,38 @@ func DefaultConfig() Config {
 	}
 }
 
-// Result summarizes one run.
+// Result summarizes one run. The JSON field names are a stable,
+// machine-readable encoding (snake_case, mirroring Dump's gem5-style
+// stat names) consumed by amntsim -json and amntbench -format json;
+// treat them as public API and only ever add fields.
 type Result struct {
-	Workloads []string
-	Policy    string
+	Workloads []string `json:"workloads"`
+	Policy    string   `json:"policy"`
 	// Cycles is the total simulated time.
-	Cycles uint64
+	Cycles uint64 `json:"cycles"`
 	// Instructions counts trace compute gaps + memory ops + OS work.
-	Instructions uint64
+	Instructions uint64 `json:"instructions"`
 	// OSInstructions is the kernel's share of Instructions.
-	OSInstructions uint64
+	OSInstructions uint64 `json:"os_instructions"`
 	// Accesses/Reads/Writes count memory references issued.
-	Accesses, Reads, Writes uint64
+	Accesses uint64 `json:"accesses"`
+	Reads    uint64 `json:"reads"`
+	Writes   uint64 `json:"writes"`
 	// MetaHitRate is the metadata cache hit rate.
-	MetaHitRate float64
+	MetaHitRate float64 `json:"meta_hit_rate"`
 	// L1HitRate aggregates L1 hit rate over cores.
-	L1HitRate float64
+	L1HitRate float64 `json:"l1_hit_rate"`
 	// PageFaults counts demand-paging faults.
-	PageFaults uint64
+	PageFaults uint64 `json:"page_faults"`
 	// SubtreeHitRate and Movements are AMNT-specific (0 otherwise).
-	SubtreeHitRate float64
-	Movements      uint64
+	SubtreeHitRate float64 `json:"subtree_hit_rate"`
+	Movements      uint64  `json:"movements"`
 	// DeviceReads/Writes count SCM block transfers.
-	DeviceReads, DeviceWrites uint64
-	// PageHist is per-physical-page access counts when requested.
-	PageHist *stats.Histogram
+	DeviceReads  uint64 `json:"device_reads"`
+	DeviceWrites uint64 `json:"device_writes"`
+	// PageHist is per-physical-page access counts when requested; it
+	// is a raw histogram, not part of the JSON encoding.
+	PageHist *stats.Histogram `json:"-"`
 }
 
 // CyclesPerInstruction returns the run's effective CPI.
@@ -305,12 +313,35 @@ func (m *Machine) Step(i int) (done bool, err error) {
 // Run drives all traces round-robin to completion (or until the first
 // finishes under StopAtFirstDone) and returns the result summary.
 func (m *Machine) Run() (Result, error) {
+	return m.RunContext(context.Background())
+}
+
+// cancelCheckMask sets how often RunContext polls for cancellation:
+// every (mask+1) round-robin sweeps. A sweep is a handful of
+// microseconds of host time, so a cancelled run aborts in well under
+// a millisecond while the common (never-cancelled) path pays one
+// counter increment and a branch per sweep.
+const cancelCheckMask = 1<<10 - 1
+
+// RunContext is Run with cancellation: the simulation loop polls ctx
+// between round-robin sweeps and aborts with ctx's error once it is
+// done. Experiment sweeps use it so ^C (or a failed sibling job's
+// cleanup) stops multi-minute simulations promptly instead of running
+// them to completion.
+func (m *Machine) RunContext(ctx context.Context) (Result, error) {
 	live := make([]bool, len(m.traces))
 	for i := range live {
 		live[i] = true
 	}
 	remaining := len(live)
-	for remaining > 0 {
+	for sweep := uint64(0); remaining > 0; sweep++ {
+		if sweep&cancelCheckMask == 0 {
+			select {
+			case <-ctx.Done():
+				return Result{}, fmt.Errorf("sim: run aborted at cycle %d: %w", m.now, ctx.Err())
+			default:
+			}
+		}
 		for i := range m.traces {
 			if !live[i] {
 				continue
@@ -403,38 +434,26 @@ func Run(cfg Config, policy mee.Policy, specs ...workload.Spec) (Result, error) 
 	return m.Run()
 }
 
-// PolicyByName constructs a built-in policy. amnt uses the config's
-// subtree level; amnt++ additionally enables the modified kernel (the
-// caller sets cfg.AMNTPlusPlus when selecting it).
-func PolicyByName(name string, subtreeLevel int) (mee.Policy, error) {
-	switch name {
-	case "volatile":
-		return mee.NewVolatile(), nil
-	case "strict":
-		return mee.NewStrict(), nil
-	case "leaf":
-		return mee.NewLeaf(), nil
-	case "osiris":
-		return mee.NewOsiris(4), nil
-	case "anubis":
-		return mee.NewAnubis(), nil
-	case "bmf":
-		return mee.NewBMF(), nil
-	case "battery":
-		return mee.NewBattery(), nil
-	case "plp":
-		return mee.NewPLP(), nil
-	case "triad":
-		return mee.NewTriad(2), nil
-	case "indirect":
-		return core.NewIndirect(core.WithLevel(subtreeLevel)), nil
-	case "amnt", "amnt++":
-		return core.New(core.WithLevel(subtreeLevel)), nil
-	}
-	return nil, fmt.Errorf("sim: unknown policy %q", name)
+// RunWithContext is Run with cancellation; see Machine.RunContext.
+func RunWithContext(ctx context.Context, cfg Config, policy mee.Policy, specs ...workload.Spec) (Result, error) {
+	m := NewMachine(cfg, policy, specs)
+	return m.RunContext(ctx)
 }
 
-// PolicyNames lists the selectable policies.
+// PolicyByName constructs a registered policy. It is a thin
+// compatibility wrapper over mee.NewPolicy: protocols self-register
+// with the mee registry (the AMNT family from internal/core's init,
+// which importing this package triggers), so the set of selectable
+// names is open — new protocol packages add themselves without
+// touching this function. amnt uses the given subtree level; amnt++
+// additionally expects the modified kernel (the caller sets
+// cfg.AMNTPlusPlus when selecting it).
+func PolicyByName(name string, subtreeLevel int) (mee.Policy, error) {
+	return mee.NewPolicy(name, mee.PolicyOptions{SubtreeLevel: subtreeLevel})
+}
+
+// PolicyNames lists the selectable policies, sorted; it mirrors
+// mee.Registered.
 func PolicyNames() []string {
-	return []string{"volatile", "strict", "leaf", "osiris", "anubis", "bmf", "battery", "plp", "triad", "indirect", "amnt", "amnt++"}
+	return mee.Registered()
 }

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -54,6 +55,43 @@ func (t *Table) Rows() [][]string {
 		out[i] = append([]string(nil), r...)
 	}
 	return out
+}
+
+// Notes returns a copy of the footnotes.
+func (t *Table) Notes() []string { return append([]string(nil), t.notes...) }
+
+// tableJSON is Table's stable wire form: formatted cells exactly as
+// Render and CSV emit them, so a JSON trajectory compares bit-for-bit
+// with the text outputs.
+type tableJSON struct {
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableJSON{
+		Title:  t.Title,
+		Header: t.Header(),
+		Rows:   t.Rows(),
+		Notes:  t.Notes(),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, restoring a table
+// emitted by MarshalJSON.
+func (t *Table) UnmarshalJSON(b []byte) error {
+	var w tableJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	t.Title = w.Title
+	t.header = w.Header
+	t.rows = w.Rows
+	t.notes = w.Notes
+	return nil
 }
 
 func formatFloat(v float64) string {

@@ -1,0 +1,48 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tbl := NewTable("Figure X — demo", "workload", "amnt", "strict")
+	tbl.AddRow("lbm", 1.163, 2.391)
+	tbl.AddRow("canneal", 1.08, 2.1)
+	tbl.AddNote("paper: amnt 1.16x mean")
+
+	raw, err := json.Marshal(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"title"`, `"header"`, `"rows"`, `"notes"`, `"1.163"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("JSON missing %s: %s", want, raw)
+		}
+	}
+
+	var back Table
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	// Formatted cells survive: the JSON, CSV and text forms agree.
+	if back.Render() != tbl.Render() {
+		t.Fatalf("render diverged after round trip:\n%s\nvs\n%s", back.Render(), tbl.Render())
+	}
+	if back.CSV() != tbl.CSV() {
+		t.Fatalf("CSV diverged after round trip")
+	}
+}
+
+func TestTableJSONOmitsEmptyNotes(t *testing.T) {
+	tbl := NewTable("t", "a")
+	tbl.AddRow(1)
+	raw, err := json.Marshal(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "notes") {
+		t.Fatalf("empty notes encoded: %s", raw)
+	}
+}
