@@ -28,6 +28,7 @@ import (
 
 	"amnt/internal/experiments"
 	"amnt/internal/stats"
+	"amnt/internal/telemetry"
 )
 
 // slugify turns a table title into a safe file stem.
@@ -88,6 +89,9 @@ func main() {
 		format   = flag.String("format", "table", "output format: table, csv, json")
 		csv      = flag.Bool("csv", false, "emit CSV (shorthand for -format csv)")
 		outDir   = flag.String("out", "", "also write each table as a CSV file into this directory")
+		telDir   = flag.String("telemetry-dir", "", "write per-cell epoch time series + event traces into this directory")
+		epoch    = flag.Uint64("epoch", 0, "telemetry sampling period in simulated cycles (0 = 100000)")
+		httpAddr = flag.String("http", "", "serve pprof and engine /progress on this address (e.g. :6060)")
 		verbose  = flag.Bool("v", false, "stream live per-job progress to stderr")
 	)
 	flag.Parse()
@@ -110,6 +114,7 @@ func main() {
 	opts := experiments.Options{
 		Scale: *scale, Seed: *seed, SubtreeLevel: *level,
 		Parallel: *parallel, Context: ctx,
+		TelemetryDir: *telDir, EpochCycles: *epoch,
 	}
 	if *verbose {
 		opts.Log = os.Stderr
@@ -126,6 +131,17 @@ func main() {
 	opts = opts.WithEngine(engine)
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "engine: %d workers\n", engine.Parallelism())
+	}
+	if *httpAddr != "" {
+		srv, err := telemetry.Serve(*httpAddr, telemetry.ServeOptions{
+			Progress: func() any { return engine.State() },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amntbench: http:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "amntbench: introspection at http://%s/\n", srv.Addr())
 	}
 
 	if *outDir != "" {

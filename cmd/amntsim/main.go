@@ -22,6 +22,7 @@ import (
 
 	"amnt/internal/cpu"
 	"amnt/internal/sim"
+	"amnt/internal/telemetry"
 	"amnt/internal/workload"
 )
 
@@ -42,6 +43,10 @@ func main() {
 		replay    = flag.String("replay", "", "run from a recorded trace file instead of -workload")
 		statsFile = flag.String("stats-file", "", "also write gem5-style stats to this file")
 		jsonOut   = flag.Bool("json", false, "print the result as JSON instead of the text report")
+		traceOut  = flag.String("trace", "", "write the protocol event trace (JSONL) to this file")
+		seriesOut = flag.String("timeseries", "", "write the epoch metric time series to this file (.csv = CSV, else JSONL)")
+		epoch     = flag.Uint64("epoch", 0, "telemetry sampling period in simulated cycles (0 = 100000)")
+		httpAddr  = flag.String("http", "", "serve pprof, /metrics, and /vars on this address (e.g. :6060)")
 		list      = flag.Bool("list", false, "list workloads and registered protocols, then exit")
 	)
 	flag.Parse()
@@ -151,6 +156,19 @@ func main() {
 	} else {
 		m = sim.NewMachine(cfg, policy, specs)
 	}
+	var tel *telemetry.Session
+	if *traceOut != "" || *seriesOut != "" || *httpAddr != "" {
+		tel = m.EnableTelemetry(telemetry.Config{EpochCycles: *epoch})
+	}
+	if *httpAddr != "" {
+		srv, serr := telemetry.Serve(*httpAddr, telemetry.ServeOptions{Registry: tel.Registry})
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "amntsim: http:", serr)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "amntsim: introspection at http://%s/\n", srv.Addr())
+	}
 	if *loadCkpt != "" {
 		f, err := os.Open(*loadCkpt)
 		if err != nil {
@@ -226,6 +244,49 @@ func main() {
 		}
 		fmt.Println("post-recovery integrity: OK")
 	}
+
+	// Telemetry outputs are written last so crash/recovery and
+	// checkpoint events land in the trace.
+	if tel != nil {
+		tel.Flush(m.Now())
+		if *seriesOut != "" {
+			f, err := os.Create(*seriesOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "amntsim:", err)
+				os.Exit(1)
+			}
+			if strings.HasSuffix(*seriesOut, ".csv") {
+				err = tel.Series.WriteCSV(f)
+			} else {
+				err = tel.Series.WriteJSONL(f)
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "amntsim: timeseries:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("timeseries:       %d samples to %s\n", tel.Series.Len(), *seriesOut)
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "amntsim:", err)
+				os.Exit(1)
+			}
+			err = tel.Trace.WriteJSONL(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "amntsim: trace:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace:            %d events to %s (%d overwritten)\n",
+				tel.Trace.Total()-tel.Trace.Dropped(), *traceOut, tel.Trace.Dropped())
+		}
+	}
 }
 
 // printReport writes the human-readable result summary.
@@ -243,10 +304,12 @@ func printReport(res sim.Result, m *sim.Machine) {
 	fmt.Printf("device reads:     %d\n", res.DeviceReads)
 	fmt.Printf("device writes:    %d\n", res.DeviceWrites)
 	fmt.Printf("page faults:      %d\n", res.PageFaults)
-	st := m.Controller().Stats()
-	fmt.Printf("sync persists:    %d\n", st.SyncPersists.Value())
-	fmt.Printf("posted writes:    %d\n", st.PostedWrites.Value())
-	fmt.Printf("counter overflow: %d\n", st.Overflows.Value())
+	fmt.Printf("meta fetches:     %d\n", res.MetaFetches)
+	fmt.Printf("sync persists:    %d\n", res.SyncPersists)
+	fmt.Printf("posted writes:    %d (merged %d)\n", res.PostedWrites, res.MergedWrites)
+	fmt.Printf("stall cycles:     %d\n", res.StallCycles)
+	fmt.Printf("wq occupancy:     p50=%d p99=%d\n", res.WQOccupancyP50, res.WQOccupancyP99)
+	fmt.Printf("counter overflow: %d\n", res.Overflows)
 	if res.SubtreeHitRate > 0 || res.Movements > 0 {
 		fmt.Printf("subtree hit rate: %.2f%%\n", 100*res.SubtreeHitRate)
 		fmt.Printf("subtree moves:    %d (%.2f per 1000 writes)\n",

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"amnt/internal/stats"
+	"amnt/internal/telemetry"
 )
 
 // Replacement selects a cache's victim-selection policy.
@@ -283,4 +284,18 @@ func (c *Cache) Evictions() uint64 { return c.evicted.Value() }
 func (c *Cache) ResetStats() {
 	c.ratio.Reset()
 	c.evicted.Reset()
+}
+
+// RegisterMetrics publishes the cache's statistics into a telemetry
+// registry under prefix (e.g. "core0.l1"). The registered closures
+// only read existing counters, so registration never changes cache
+// behaviour or timing.
+func (c *Cache) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".accesses", "lifetime cache accesses", c.Accesses)
+	reg.Counter(prefix+".hits", "lifetime cache hits", func() uint64 { return c.ratio.Hits })
+	reg.Gauge(prefix+".hit_rate", "lifetime hit rate", c.HitRate)
+	reg.Counter(prefix+".evictions", "capacity evictions", c.Evictions)
+	reg.Gauge(prefix+".occupancy", "resident lines / capacity", func() float64 {
+		return float64(c.Len()) / float64(c.Lines())
+	})
 }

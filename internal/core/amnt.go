@@ -27,6 +27,7 @@ import (
 	"amnt/internal/mee"
 	"amnt/internal/scm"
 	"amnt/internal/stats"
+	"amnt/internal/telemetry"
 )
 
 // Option configures an AMNT policy.
@@ -125,6 +126,18 @@ func (a *AMNT) FlushedNodes() uint64 { return a.flushes.Value() }
 
 // Regions returns the number of candidate subtree regions (8^(level-1)).
 func (a *AMNT) Regions() uint64 { return 1 << (3 * uint(a.level-1)) }
+
+// RegisterMetrics implements telemetry.MetricSource: subtree tracking
+// statistics under prefix ("policy").
+func (a *AMNT) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Gauge("policy.subtree_hit_rate", "fraction of data writes inside the fast subtree", a.SubtreeHitRate)
+	reg.Counter("policy.subtree_writes", "data writes observed by the hot-region tracker", a.SubtreeWrites)
+	reg.Counter("policy.movements", "subtree movements performed", a.Movements)
+	reg.Counter("policy.flushed_nodes", "dirty tree nodes flushed by movements", a.FlushedNodes)
+	reg.Gauge("policy.subtree_index", "current subtree root index within its level", func() float64 {
+		return float64(a.subIdx)
+	})
+}
 
 // regionOf maps a counter-block (leaf) index to its subtree region.
 func (a *AMNT) regionOf(ctrIdx uint64) uint64 {
@@ -266,12 +279,14 @@ func (a *AMNT) move(now uint64, newIdx uint64) uint64 {
 	c := a.ctrl
 	g := c.Geometry()
 	var cycles uint64
+	var flushed uint64
 
 	// 1. Persist the old subtree's dirty interior and the dirty
 	// ancestors on the root path (the dirty-bit scan of §4.2).
 	for _, key := range c.DirtyTreeKeys(nil) {
 		cycles += c.PersistMeta(now+cycles, key, false)
 		a.flushes.Inc()
+		flushed++
 	}
 	// 2. The old subtree root's freshest content lives in the
 	// register; write it to its home in the Tree region.
@@ -299,8 +314,18 @@ func (a *AMNT) move(now uint64, newIdx uint64) uint64 {
 	if a.level >= 2 {
 		c.DropCached(mee.TreeKey(g, a.level, newIdx))
 	}
-	_ = oldIdx
 	a.movements.Inc()
+	if t := c.Tracer(); t != nil {
+		t.Emit(telemetry.Event{
+			Cycle:  now,
+			Kind:   telemetry.EvSubtreeMove,
+			Level:  a.level,
+			From:   oldIdx,
+			To:     newIdx,
+			Cycles: cycles,
+			Count:  flushed,
+		})
+	}
 	return cycles
 }
 

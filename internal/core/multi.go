@@ -8,6 +8,7 @@ import (
 	"amnt/internal/mee"
 	"amnt/internal/scm"
 	"amnt/internal/stats"
+	"amnt/internal/telemetry"
 )
 
 // Multi is the design alternative the paper raises and rejects in §5:
@@ -68,6 +69,15 @@ func (m *Multi) SubtreeHitRate() float64 { return m.subtreeHits.Rate() }
 
 // Movements reports subtree adoptions.
 func (m *Multi) Movements() uint64 { return m.movements.Value() }
+
+// RegisterMetrics implements telemetry.MetricSource.
+func (m *Multi) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Gauge("policy.subtree_hit_rate", "fraction of data writes inside any fast subtree", m.SubtreeHitRate)
+	reg.Counter("policy.subtree_writes", "data writes observed by the hot-region tracker", func() uint64 {
+		return m.subtreeHits.Total
+	})
+	reg.Counter("policy.movements", "subtree register adoptions performed", m.Movements)
+}
 
 // Attach implements mee.Policy: the K subtrees boot over the first K
 // regions.
@@ -243,14 +253,17 @@ func (m *Multi) move(now uint64, reg int, newIdx uint64) uint64 {
 	c := m.ctrl
 	g := c.Geometry()
 	var cycles uint64
+	var flushed uint64
 	for _, key := range c.DirtyTreeKeys(nil) {
 		cycles += c.PersistMeta(now+cycles, key, false)
+		flushed++
 	}
 	if m.level >= 2 {
 		cycles += c.PostDeviceWrite(now+cycles, scm.Tree,
 			g.FlatIndex(m.level, m.regs[reg].idx), m.regs[reg].content[:], false)
 	}
 	cycles += c.Barrier(now + cycles)
+	oldIdx := m.regs[reg].idx
 	content, fc, err := c.FetchVerified(now+cycles, m.level, newIdx)
 	cycles += fc
 	if err != nil {
@@ -260,6 +273,18 @@ func (m *Multi) move(now uint64, reg int, newIdx uint64) uint64 {
 	m.regs[reg].idx = newIdx
 	c.DropCached(mee.TreeKey(g, m.level, newIdx))
 	m.movements.Inc()
+	if t := c.Tracer(); t != nil {
+		t.Emit(telemetry.Event{
+			Cycle:  now,
+			Kind:   telemetry.EvSubtreeMove,
+			Level:  m.level,
+			From:   oldIdx,
+			To:     newIdx,
+			Cycles: cycles,
+			Count:  flushed,
+			Note:   fmt.Sprintf("register %d", reg),
+		})
+	}
 	return cycles
 }
 

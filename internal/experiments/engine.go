@@ -4,12 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
 	"amnt/internal/sim"
+	"amnt/internal/telemetry"
 	"amnt/internal/workload"
 )
 
@@ -334,7 +338,19 @@ func (e *Engine) Run(ctx context.Context, o Options, rs RunSpec) (sim.Result, er
 			return sim.Result{}, perr
 		}
 		m := sim.NewMachine(cfg, policy, scaled)
-		return m.RunContext(ctx)
+		if o.TelemetryDir == "" {
+			return m.RunContext(ctx)
+		}
+		sess := m.EnableTelemetry(telemetry.Config{EpochCycles: o.EpochCycles})
+		res, rerr := m.RunContext(ctx)
+		if rerr != nil {
+			return res, rerr
+		}
+		sess.Flush(m.Now())
+		if werr := writeCellTelemetry(o.TelemetryDir, label, sess); werr != nil {
+			return res, fmt.Errorf("telemetry: %w", werr)
+		}
+		return res, nil
 	})
 	if entry != nil {
 		if err != nil {
@@ -348,6 +364,71 @@ func (e *Engine) Run(ctx context.Context, o Options, rs RunSpec) (sim.Result, er
 		close(entry.done)
 	}
 	return res, err
+}
+
+// State returns a snapshot of the engine's counters, shaped like a
+// Progress event without a triggering job. The -http introspection
+// endpoint serves it as /progress.
+func (e *Engine) State() Progress {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p := Progress{
+		Queued:  e.queued,
+		Running: e.running,
+		Done:    e.done,
+		Cached:  e.cached,
+		Failed:  e.failed,
+		Elapsed: time.Since(e.start),
+	}
+	if remaining := e.queued + e.running; e.done > 0 && remaining > 0 {
+		avg := e.wallSum / time.Duration(e.done)
+		p.ETA = avg * time.Duration(remaining) / time.Duration(e.parallel)
+	}
+	return p
+}
+
+// slugLabel flattens a cell label into a filename-safe slug.
+func slugLabel(label string) string {
+	var b strings.Builder
+	for _, r := range label {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '.', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
+}
+
+// writeCellTelemetry dumps one cell's epoch time series and protocol
+// trace as <slug>.timeseries.jsonl / <slug>.trace.jsonl under dir.
+func writeCellTelemetry(dir, label string, s *telemetry.Session) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	slug := slugLabel(label)
+	ts, err := os.Create(filepath.Join(dir, slug+".timeseries.jsonl"))
+	if err != nil {
+		return err
+	}
+	if err := s.Series.WriteJSONL(ts); err != nil {
+		ts.Close()
+		return err
+	}
+	if err := ts.Close(); err != nil {
+		return err
+	}
+	tr, err := os.Create(filepath.Join(dir, slug+".trace.jsonl"))
+	if err != nil {
+		return err
+	}
+	if err := s.Trace.WriteJSONL(tr); err != nil {
+		tr.Close()
+		return err
+	}
+	return tr.Close()
 }
 
 // RunAll executes every cell concurrently (bounded by the pool) and

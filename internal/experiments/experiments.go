@@ -46,6 +46,15 @@ type Options struct {
 	// Context, when non-nil, cancels in-flight and queued simulations
 	// when it is done; drivers then return its error.
 	Context context.Context
+	// TelemetryDir, when set, enables per-cell telemetry: every cell
+	// that actually simulates writes an epoch time-series JSONL and a
+	// protocol event trace JSONL into this directory (cached cells are
+	// served without re-simulating, so one file pair per unique cell).
+	// Telemetry only reads statistics; results are unchanged.
+	TelemetryDir string
+	// EpochCycles is the telemetry sampling period in simulated cycles
+	// (0 = telemetry.DefaultEpochCycles).
+	EpochCycles uint64
 
 	engine *Engine
 }

@@ -3,6 +3,8 @@ package kernel
 import (
 	"fmt"
 	"math/rand"
+
+	"amnt/internal/telemetry"
 )
 
 // PageSize is the physical page size in bytes (64 data blocks).
@@ -96,6 +98,17 @@ func (k *Kernel) Restructures() uint64 { return k.restructs }
 
 // PageFaults returns the number of demand-paging faults served.
 func (k *Kernel) PageFaults() uint64 { return k.faults }
+
+// RegisterMetrics publishes OS activity into a telemetry registry
+// under prefix ("os").
+func (k *Kernel) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".page_faults", "demand-paging faults", k.PageFaults)
+	reg.Counter(prefix+".instructions", "modeled kernel instructions", k.Instructions)
+	reg.Counter(prefix+".restructures", "AMNT++ free-list restructure passes", k.Restructures)
+	reg.Gauge(prefix+".free_pages", "allocator free pages", func() float64 {
+		return float64(k.alloc.FreePages())
+	})
+}
 
 // NewProcess creates a process with an empty address space.
 func (k *Kernel) NewProcess(name string) *Process {

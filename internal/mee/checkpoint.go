@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"amnt/internal/scm"
+	"amnt/internal/telemetry"
 )
 
 // NVSnapshotter is an optional policy extension for checkpointing:
@@ -31,6 +32,12 @@ const checkpointMagic = "AMNTCKP1"
 // warm-up once, then fork crash/recovery experiments from the
 // checkpoint.
 func (c *Controller) SaveCheckpoint(w io.Writer) error {
+	if c.trace != nil {
+		c.trace.Emit(telemetry.Event{
+			Kind: telemetry.EvCheckpoint,
+			Note: "save: " + c.policy.Name(),
+		})
+	}
 	c.Flush(0)
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(checkpointMagic); err != nil {
@@ -116,6 +123,12 @@ func (c *Controller) LoadCheckpoint(r io.Reader) error {
 		}
 	} else if len(nv) != 0 {
 		return fmt.Errorf("mee: checkpoint carries NV state the %q policy cannot restore", c.policy.Name())
+	}
+	if c.trace != nil {
+		c.trace.Emit(telemetry.Event{
+			Kind: telemetry.EvCheckpoint,
+			Note: "load: " + c.policy.Name(),
+		})
 	}
 	return nil
 }

@@ -29,6 +29,7 @@ import (
 	"amnt/internal/counters"
 	"amnt/internal/scm"
 	"amnt/internal/stats"
+	"amnt/internal/telemetry"
 )
 
 // Config holds the controller's hardware parameters. Defaults follow
@@ -201,7 +202,10 @@ type Stats struct {
 	MetaFetches  stats.Counter // metadata blocks fetched from SCM
 	SyncPersists stats.Counter // blocking metadata persists
 	PostedWrites stats.Counter // posted (queued) SCM writes
-	StallCycles  stats.Counter // cycles lost to write-queue pressure
+	// StallCycles counts cycles spent waiting on the write queue:
+	// posted-write back-pressure stalls plus the full wait of blocking
+	// persists and barriers.
+	StallCycles  stats.Counter
 	Overflows    stats.Counter // minor-counter overflows (page re-encryption)
 	VerifyHashes stats.Counter // tree/MAC hash computations
 	PolicyCycles stats.Counter // cycles charged by policy hooks
@@ -222,6 +226,14 @@ type Controller struct {
 	zero     []uint64              // zero-subtree digests per level
 	zeroNode [][scm.BlockSize]byte // zero-node contents per inner level
 	st       Stats
+	// levelHits tracks the metadata cache hit ratio of FetchVerified
+	// per tree level (index == level; levels 0..1 unused — the root
+	// register and policy anchors satisfy those without the cache).
+	levelHits []stats.Ratio
+	// trace, when non-nil, receives protocol events (stalls, overflows,
+	// crash/recovery). Nil when telemetry is disabled; every emit site
+	// is guarded so the disabled path allocates nothing.
+	trace *telemetry.Tracer
 }
 
 // New builds a controller over dev with the given policy. The tree
@@ -256,6 +268,7 @@ func New(dev *scm.Device, cfg Config, policy Policy) *Controller {
 		c.zeroNode[l] = node
 	}
 	c.rootNV = c.zeroNode[1]
+	c.levelHits = make([]stats.Ratio, c.geo.Levels+1)
 	c.policy = policy
 	policy.Attach(c)
 	return c
@@ -284,6 +297,14 @@ func (c *Controller) Stats() *Stats { return &c.st }
 // Config returns the controller configuration (with defaults applied).
 func (c *Controller) Config() Config { return c.cfg }
 
+// SetTracer installs (or, with nil, removes) a protocol event trace
+// sink. The simulator sets this when telemetry is enabled.
+func (c *Controller) SetTracer(t *telemetry.Tracer) { c.trace = t }
+
+// Tracer returns the active trace sink, nil when tracing is disabled.
+// Policies use it to emit their own events (subtree movements).
+func (c *Controller) Tracer() *telemetry.Tracer { return c.trace }
+
 // Root returns the current root register content (level-1 node).
 func (c *Controller) Root() [bmt.NodeSize]byte { return c.rootNV }
 
@@ -305,6 +326,17 @@ func wqKey(region scm.Region, idx uint64) uint64 {
 // the fixed queue-insertion cost (free when the write coalesced).
 func (c *Controller) postCharge(now uint64, key uint64) uint64 {
 	stall, merged := c.wq.post(now, key)
+	if stall > 0 {
+		c.st.StallCycles.Add(stall)
+		if c.trace != nil {
+			c.trace.Emit(telemetry.Event{
+				Cycle:  now,
+				Kind:   telemetry.EvWQStall,
+				Cycles: stall,
+				Count:  uint64(len(c.wq.entries)),
+			})
+		}
+	}
 	if merged {
 		return stall
 	}
@@ -370,8 +402,10 @@ func (c *Controller) FetchVerified(now uint64, level int, idx uint64) ([]byte, u
 	cycles := c.cfg.MetaHitCycles
 	if c.meta.Probe(uint64(key)) {
 		c.meta.Access(uint64(key), false) // refresh LRU, count hit
+		c.levelHits[level].Observe(true)
 		return c.buf[key][:], cycles, nil
 	}
+	c.levelHits[level].Observe(false)
 	// Miss: fetch from the device and authenticate against the parent
 	// (the miss is recorded in cache stats when install allocates).
 	// An inner node never written is the zero-tree node for its level
@@ -458,7 +492,9 @@ func (c *Controller) PersistMeta(now uint64, key MetaKey, blocking bool) uint64 
 	c.meta.Clean(uint64(key))
 	if blocking {
 		c.st.SyncPersists.Inc()
-		return c.wq.block(now)
+		wait := c.wq.block(now)
+		c.st.StallCycles.Add(wait)
+		return wait
 	}
 	c.st.PostedWrites.Inc()
 	return c.postCharge(now, wqKey(region, idx))
@@ -470,7 +506,9 @@ func (c *Controller) PostDeviceWrite(now uint64, region scm.Region, idx uint64, 
 	c.dev.Write(region, idx, content)
 	if blocking {
 		c.st.SyncPersists.Inc()
-		return c.wq.block(now)
+		wait := c.wq.block(now)
+		c.st.StallCycles.Add(wait)
+		return wait
 	}
 	c.st.PostedWrites.Inc()
 	return c.postCharge(now, wqKey(region, idx))
@@ -480,11 +518,55 @@ func (c *Controller) PostDeviceWrite(now uint64, region scm.Region, idx uint64, 
 // until a freshly admitted marker completes (AMNT uses this to make a
 // subtree movement durable before relaxing the new region).
 func (c *Controller) Barrier(now uint64) uint64 {
-	return c.wq.block(now)
+	wait := c.wq.block(now)
+	c.st.StallCycles.Add(wait)
+	return wait
 }
 
 // MergedWrites reports how many posted writes coalesced in the queue.
 func (c *Controller) MergedWrites() uint64 { return c.wq.mergedWrites() }
+
+// WriteQueueOccupancy returns the admit-time occupancy distribution of
+// the write queue (keys are entry counts, bounded by the queue depth).
+func (c *Controller) WriteQueueOccupancy() *stats.Histogram { return c.wq.occupancy() }
+
+// LevelHitRates returns the metadata cache hit rate of verified
+// fetches per tree level, indexed by level (entries 0 and 1 are always
+// zero: the root register and policy anchors bypass the cache).
+func (c *Controller) LevelHitRates() []float64 {
+	out := make([]float64, len(c.levelHits))
+	for i := range c.levelHits {
+		out[i] = c.levelHits[i].Rate()
+	}
+	return out
+}
+
+// RegisterMetrics publishes controller activity into a telemetry
+// registry under prefix ("mee"): all Stats counters, write-queue depth
+// and occupancy, the metadata cache, and per-level hit rates.
+func (c *Controller) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".data_reads", "verified data block reads", c.st.DataReads.Value)
+	reg.Counter(prefix+".data_writes", "encrypted data block writes", c.st.DataWrites.Value)
+	reg.Counter(prefix+".meta_fetches", "metadata blocks fetched from SCM", c.st.MetaFetches.Value)
+	reg.Counter(prefix+".sync_persists", "blocking metadata persists", c.st.SyncPersists.Value)
+	reg.Counter(prefix+".posted_writes", "posted (queued) SCM writes", c.st.PostedWrites.Value)
+	reg.Counter(prefix+".stall_cycles", "cycles spent waiting on the write queue", c.st.StallCycles.Value)
+	reg.Counter(prefix+".overflows", "minor-counter overflows (page re-encryption)", c.st.Overflows.Value)
+	reg.Counter(prefix+".verify_hashes", "tree/MAC hash computations", c.st.VerifyHashes.Value)
+	reg.Counter(prefix+".policy_cycles", "cycles charged by policy hooks", c.st.PolicyCycles.Value)
+	reg.Counter(prefix+".merged_writes", "posted writes coalesced in the write queue", c.MergedWrites)
+	reg.Gauge(prefix+".wq_depth", "write-queue entries in flight", func() float64 {
+		return float64(len(c.wq.entries))
+	})
+	reg.Histogram(prefix+".wq_occupancy", "write-queue occupancy at admit", c.WriteQueueOccupancy)
+	c.meta.RegisterMetrics(reg, prefix+".meta")
+	for level := 2; level <= c.geo.Levels; level++ {
+		level := level
+		reg.Gauge(fmt.Sprintf("%s.meta.hit_rate.l%d", prefix, level),
+			fmt.Sprintf("metadata cache hit rate for level-%d fetches", level),
+			func() float64 { return c.levelHits[level].Rate() })
+	}
+}
 
 // --- data path --------------------------------------------------------
 
@@ -567,6 +649,14 @@ func (c *Controller) WriteBlock(now uint64, b uint64, src []byte) (uint64, error
 	old := blk
 	if blk.Bump(slot) {
 		c.st.Overflows.Inc()
+		if c.trace != nil {
+			c.trace.Emit(telemetry.Event{
+				Cycle: now + cycles,
+				Kind:  telemetry.EvOverflow,
+				Addr:  ctrIdx,
+				Note:  "page re-encryption",
+			})
+		}
 		rc, err := c.reencryptPage(now+cycles, ctrIdx, &old, &blk, b)
 		cycles += rc
 		if err != nil {
@@ -715,6 +805,12 @@ type PreCrasher interface {
 // lost; the device and NV registers survive. A PreCrasher policy gets
 // its residual-energy window first.
 func (c *Controller) Crash() {
+	if c.trace != nil {
+		c.trace.Emit(telemetry.Event{
+			Kind: telemetry.EvCrash,
+			Note: "power failure: volatile state lost",
+		})
+	}
 	if p, ok := c.policy.(PreCrasher); ok {
 		p.PreCrash(0)
 	}
@@ -726,7 +822,21 @@ func (c *Controller) Crash() {
 
 // Recover runs the active policy's crash recovery procedure.
 func (c *Controller) Recover(now uint64) (RecoveryReport, error) {
-	return c.policy.Recover(now)
+	rep, err := c.policy.Recover(now)
+	if c.trace != nil {
+		note := rep.Protocol
+		if err != nil {
+			note += " (failed)"
+		}
+		c.trace.Emit(telemetry.Event{
+			Cycle:  now,
+			Kind:   telemetry.EvRecovery,
+			Cycles: rep.Cycles,
+			Count:  rep.CounterReads + rep.DataReads + rep.ShadowReads,
+			Note:   note,
+		})
+	}
+	return rep, err
 }
 
 // VerifyAll reads back and authenticates every initialized data block;

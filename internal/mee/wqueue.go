@@ -1,5 +1,7 @@
 package mee
 
+import "amnt/internal/stats"
+
 // writeQueue models the SCM write path: a bounded queue of in-flight
 // writes drained at a fixed service rate, with address coalescing —
 // a write to an address that is already pending merges into the
@@ -20,6 +22,10 @@ type writeQueue struct {
 	pending  map[uint64]int
 	lastDone uint64
 	merged   uint64
+	// occ samples the queue occupancy seen by each admitted write
+	// (after retirement, before insertion), so the distribution shows
+	// how close the queue runs to its depth.
+	occ *stats.Histogram
 }
 
 type wqEntry struct {
@@ -33,7 +39,12 @@ func newWriteQueue(depth int, drainCycles uint64) *writeQueue {
 	if depth <= 0 {
 		depth = 1
 	}
-	return &writeQueue{depth: depth, drainCycles: drainCycles, pending: make(map[uint64]int)}
+	return &writeQueue{
+		depth:       depth,
+		drainCycles: drainCycles,
+		pending:     make(map[uint64]int),
+		occ:         stats.NewHistogram(),
+	}
 }
 
 // retire drops entries completed by now.
@@ -86,6 +97,7 @@ func (q *writeQueue) block(now uint64) (wait uint64) {
 
 // admit performs the shared enqueue logic.
 func (q *writeQueue) admit(now uint64, key uint64, tracked bool) (stall, done uint64) {
+	q.occ.Observe(uint64(len(q.entries)))
 	if len(q.entries) >= q.depth {
 		head := q.entries[0]
 		stall = head.done - now
@@ -120,6 +132,10 @@ func (q *writeQueue) pendingCount(now uint64) int {
 // mergedWrites returns how many posted writes coalesced into pending
 // entries.
 func (q *writeQueue) mergedWrites() uint64 { return q.merged }
+
+// occupancy returns the admit-time occupancy distribution. Statistics
+// survive reset, like cache statistics survive a crash.
+func (q *writeQueue) occupancy() *stats.Histogram { return q.occ }
 
 // reset clears all in-flight state (crash: queued writes in our
 // functional model were already applied to the device at issue time,

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"amnt/internal/stats"
+	"amnt/internal/telemetry"
 )
 
 // BlockSize is the device access granularity in bytes.
@@ -119,6 +120,21 @@ func (d *Device) Config() Config { return d.cfg }
 
 // Stats returns the device's traffic counters.
 func (d *Device) Stats() *Stats { return &d.stat }
+
+// RegisterMetrics publishes device traffic into a telemetry registry
+// under prefix ("scm"): total reads/writes plus a per-region
+// breakdown ("scm.reads.tree", ...).
+func (d *Device) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".reads", "device block reads", d.stat.Reads.Value)
+	reg.Counter(prefix+".writes", "device block writes", d.stat.Writes.Value)
+	for r := Region(0); r < numRegions; r++ {
+		r := r
+		reg.Counter(prefix+".reads."+r.String(), "device block reads, "+r.String()+" region",
+			d.stat.RegionReads[r].Value)
+		reg.Counter(prefix+".writes."+r.String(), "device block writes, "+r.String()+" region",
+			d.stat.RegionWrites[r].Value)
+	}
+}
 
 // DataBlocks returns the number of 64 B blocks in the data region.
 func (d *Device) DataBlocks() uint64 { return d.cfg.CapacityBytes / BlockSize }

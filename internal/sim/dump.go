@@ -25,12 +25,32 @@ func (r Result) Dump(w io.Writer) error {
 		{"sim.writes", r.Writes, "MEE data writes"},
 		{"system.l1.hit_rate", fmt.Sprintf("%.6f", r.L1HitRate), "aggregate L1 hit rate"},
 		{"system.mee.meta_hit_rate", fmt.Sprintf("%.6f", r.MetaHitRate), "metadata cache hit rate"},
+		{"system.mee.meta_fetches", r.MetaFetches, "metadata blocks fetched from SCM"},
+		{"system.mee.sync_persists", r.SyncPersists, "blocking metadata persists"},
+		{"system.mee.posted_writes", r.PostedWrites, "posted (queued) SCM writes"},
+		{"system.mee.merged_writes", r.MergedWrites, "posted writes coalesced in the write queue"},
+		{"system.mee.stall_cycles", r.StallCycles, "cycles spent waiting on the write queue"},
+		{"system.mee.overflows", r.Overflows, "minor-counter overflows (page re-encryption)"},
+		{"system.mee.verify_hashes", r.VerifyHashes, "tree/MAC hash computations"},
+		{"system.mee.policy_cycles", r.PolicyCycles, "cycles charged by policy hooks"},
+		{"system.mee.wq_occupancy_p50", r.WQOccupancyP50, "median write-queue occupancy at admit"},
+		{"system.mee.wq_occupancy_p99", r.WQOccupancyP99, "p99 write-queue occupancy at admit"},
 		{"system.mee.subtree_hit_rate", fmt.Sprintf("%.6f", r.SubtreeHitRate), "AMNT fast-subtree hit rate"},
 		{"system.mee.subtree_movements", r.Movements, "AMNT subtree transitions"},
 		{"system.scm.reads", r.DeviceReads, "device block reads"},
 		{"system.scm.writes", r.DeviceWrites, "device block writes"},
 		{"system.os.page_faults", r.PageFaults, "demand-paging faults"},
 		{"system.os.instructions", r.OSInstructions, "kernel instructions"},
+	}
+	for level, rate := range r.MetaLevelHitRates {
+		if level < 2 {
+			continue
+		}
+		stats = append(stats, stat{
+			fmt.Sprintf("system.mee.meta_hit_rate.l%d", level),
+			fmt.Sprintf("%.6f", rate),
+			fmt.Sprintf("metadata cache hit rate, tree level %d", level),
+		})
 	}
 	sort.Slice(stats, func(i, j int) bool { return stats[i].name < stats[j].name })
 	if _, err := fmt.Fprintf(w, "---------- Begin Simulation Statistics (%s / %s) ----------\n",

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"amnt/internal/core"
+	"amnt/internal/telemetry"
+	"amnt/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenResult is a fully populated, hand-fixed Result: the golden test
+// pins the Dump format itself (alignment, names, descriptions,
+// ordering), independent of simulator behavior.
+func goldenResult() Result {
+	return Result{
+		Workloads:         []string{"alpha", "beta"},
+		Policy:            "amnt",
+		Cycles:            1_234_567,
+		Instructions:      400_000,
+		OSInstructions:    25_000,
+		Accesses:          90_000,
+		Reads:             60_000,
+		Writes:            30_000,
+		MetaHitRate:       0.9375,
+		L1HitRate:         0.84215,
+		PageFaults:        512,
+		SubtreeHitRate:    0.721,
+		Movements:         19,
+		DeviceReads:       41_000,
+		DeviceWrites:      17_500,
+		MetaFetches:       8_200,
+		SyncPersists:      1_100,
+		PostedWrites:      29_000,
+		MergedWrites:      4_400,
+		StallCycles:       77_000,
+		Overflows:         3,
+		VerifyHashes:      150_000,
+		PolicyCycles:      9_800,
+		MetaLevelHitRates: []float64{0, 0, 0.91, 0.87, 0.62},
+		WQOccupancy:       []uint64{100, 50, 25, 5},
+		WQOccupancyP50:    0,
+		WQOccupancyP99:    3,
+	}
+}
+
+func TestDumpGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenResult().Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "dump.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/sim -run TestDumpGolden -update` to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Dump output drifted from golden file (regenerate with -update if intentional)\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestTelemetryDoesNotPerturbResults is the determinism safeguard for
+// the observability layer: a run with the full telemetry stack enabled
+// (registry, epoch sampler, event trace) must produce the identical
+// Result as a plain run, because telemetry only ever reads state.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	specs := []workload.Spec{tinySpec("t", 0.4)}
+
+	plain := NewMachine(smallConfig(), core.New(), specs)
+	base, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traced := NewMachine(smallConfig(), core.New(), specs)
+	sess := traced.EnableTelemetry(telemetry.Config{EpochCycles: 1000})
+	got, err := traced.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Flush(traced.Now())
+
+	bj, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gj, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bj, gj) {
+		t.Fatalf("telemetry perturbed the run:\nplain:  %s\ntraced: %s", bj, gj)
+	}
+	if sess.Series.Len() == 0 {
+		t.Fatal("epoch sampler collected no samples")
+	}
+	if sess.Trace.Total() == 0 {
+		t.Fatal("AMNT run on a write-heavy workload should trace events (movements/stalls)")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"amnt/internal/mee"
 	"amnt/internal/scm"
 	"amnt/internal/stats"
+	"amnt/internal/telemetry"
 	"amnt/internal/workload"
 )
 
@@ -106,6 +107,24 @@ type Result struct {
 	// DeviceReads/Writes count SCM block transfers.
 	DeviceReads  uint64 `json:"device_reads"`
 	DeviceWrites uint64 `json:"device_writes"`
+	// Remaining MEE counters (the full mee.Stats set).
+	MetaFetches  uint64 `json:"meta_fetches"`
+	SyncPersists uint64 `json:"sync_persists"`
+	PostedWrites uint64 `json:"posted_writes"`
+	MergedWrites uint64 `json:"merged_writes"`
+	StallCycles  uint64 `json:"stall_cycles"`
+	Overflows    uint64 `json:"overflows"`
+	VerifyHashes uint64 `json:"verify_hashes"`
+	PolicyCycles uint64 `json:"policy_cycles"`
+	// MetaLevelHitRates is the metadata cache hit rate of verified
+	// fetches per tree level, indexed by level (entries 0 and 1 are
+	// always zero: root register and policy anchors bypass the cache).
+	MetaLevelHitRates []float64 `json:"meta_level_hit_rates"`
+	// WQOccupancy is the write-queue occupancy distribution: entry i
+	// counts admitted writes that found i entries already in flight.
+	WQOccupancy    []uint64 `json:"wq_occupancy"`
+	WQOccupancyP50 uint64   `json:"wq_occupancy_p50"`
+	WQOccupancyP99 uint64   `json:"wq_occupancy_p99"`
 	// PageHist is per-physical-page access counts when requested; it
 	// is a raw histogram, not part of the JSON encoding.
 	PageHist *stats.Histogram `json:"-"`
@@ -133,6 +152,9 @@ type Machine struct {
 	now      uint64
 	pageHist *stats.Histogram
 	policy   mee.Policy
+	// tel is nil unless EnableTelemetry ran; every use is nil-safe, so
+	// the disabled path costs one pointer check per step.
+	tel *telemetry.Session
 }
 
 // NewMachine builds a machine running one freshly generated trace
@@ -276,6 +298,39 @@ func (m *Machine) ProcessPages() [][]uint64 {
 // Kernel exposes the OS model.
 func (m *Machine) Kernel() *kernel.Kernel { return m.kern }
 
+// EnableTelemetry attaches an instrumentation session to the machine:
+// every component registers its metric columns, the controller gets a
+// protocol event trace sink, and the epoch sampler snapshots all
+// metrics every cfg.EpochCycles simulated cycles. Telemetry only reads
+// existing statistics, so enabling it never changes simulation results;
+// when it is not enabled the machine carries a nil session and the
+// per-step overhead is a single pointer check.
+func (m *Machine) EnableTelemetry(cfg telemetry.Config) *telemetry.Session {
+	s := telemetry.NewSession(cfg)
+	reg := s.Registry
+	reg.Gauge("sim.cycle", "current simulated cycle", func() float64 { return float64(m.now) })
+	m.ctrl.RegisterMetrics(reg, "mee")
+	m.dev.RegisterMetrics(reg, "scm")
+	m.kern.RegisterMetrics(reg, "os")
+	if m.l3 != nil {
+		m.l3.RegisterMetrics(reg, "l3")
+	}
+	for i, h := range m.cores {
+		for li, c := range h.Levels() {
+			c.RegisterMetrics(reg, fmt.Sprintf("core%d.l%d", i, li+1))
+		}
+	}
+	if src, ok := m.policy.(telemetry.MetricSource); ok {
+		src.RegisterMetrics(reg)
+	}
+	m.ctrl.SetTracer(s.Trace)
+	m.tel = s
+	return s
+}
+
+// Telemetry returns the attached session, nil when telemetry is off.
+func (m *Machine) Telemetry() *telemetry.Session { return m.tel }
+
 // Now returns the current simulated cycle.
 func (m *Machine) Now() uint64 { return m.now }
 
@@ -307,6 +362,9 @@ func (m *Machine) Step(i int) (done bool, err error) {
 		m.versions[block]++
 	}
 	m.now += cycles
+	if m.tel != nil {
+		m.tel.Tick(m.now)
+	}
 	return false, nil
 }
 
@@ -399,6 +457,24 @@ func (m *Machine) result() Result {
 	st := m.ctrl.Stats()
 	r.Reads = st.DataReads.Value()
 	r.Writes = st.DataWrites.Value()
+	r.MetaFetches = st.MetaFetches.Value()
+	r.SyncPersists = st.SyncPersists.Value()
+	r.PostedWrites = st.PostedWrites.Value()
+	r.MergedWrites = m.ctrl.MergedWrites()
+	r.StallCycles = st.StallCycles.Value()
+	r.Overflows = st.Overflows.Value()
+	r.VerifyHashes = st.VerifyHashes.Value()
+	r.PolicyCycles = st.PolicyCycles.Value()
+	r.MetaLevelHitRates = m.ctrl.LevelHitRates()
+	if occ := m.ctrl.WriteQueueOccupancy(); occ.Total() > 0 {
+		keys := occ.Keys()
+		r.WQOccupancy = make([]uint64, keys[len(keys)-1]+1)
+		for _, k := range keys {
+			r.WQOccupancy[k] = occ.Count(k)
+		}
+		r.WQOccupancyP50 = occ.Quantile(0.50)
+		r.WQOccupancyP99 = occ.Quantile(0.99)
+	}
 	var l1Hits, l1Total uint64
 	for i, h := range m.cores {
 		r.Workloads = append(r.Workloads, m.traces[i].Spec().Name)

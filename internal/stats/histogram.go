@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -102,6 +103,58 @@ func (h *Histogram) Buckets(max uint64, n int) []uint64 {
 			idx = n - 1
 		}
 		out[idx] += c
+	}
+	return out
+}
+
+// Quantile returns the smallest key k such that at least q (0..1) of
+// all observed events have key <= k. q <= 0 yields the minimum key,
+// q >= 1 the maximum; an empty histogram yields 0. The write-queue
+// occupancy report (sim.Result) and telemetry histogram columns are
+// built on this.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	if target > h.total {
+		target = h.total
+	}
+	var cum uint64
+	for _, k := range h.Keys() {
+		cum += h.counts[k]
+		if cum >= target {
+			return k
+		}
+	}
+	// Unreachable: the cumulative count over all keys equals total.
+	return 0
+}
+
+// CDFPoint is one step of a histogram's cumulative distribution.
+type CDFPoint struct {
+	// Key is the value; Fraction is the fraction of events with key
+	// <= Key.
+	Key      uint64
+	Fraction float64
+}
+
+// CDF returns the cumulative distribution as one point per distinct
+// key, ascending; the last point's Fraction is 1. Empty histograms
+// return nil.
+func (h *Histogram) CDF() []CDFPoint {
+	if h.total == 0 {
+		return nil
+	}
+	keys := h.Keys()
+	out := make([]CDFPoint, len(keys))
+	var cum uint64
+	for i, k := range keys {
+		cum += h.counts[k]
+		out[i] = CDFPoint{Key: k, Fraction: float64(cum) / float64(h.total)}
 	}
 	return out
 }

@@ -290,3 +290,52 @@ func TestTableCSV(t *testing.T) {
 		t.Fatalf("csv escaping wrong: %q", csv)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty quantile = %d, want 0", h.Quantile(0.5))
+	}
+	// 10 events at 1, 80 at 2, 10 at 9.
+	h.Add(1, 10)
+	h.Add(2, 80)
+	h.Add(9, 10)
+	cases := []struct {
+		q    float64
+		want uint64
+	}{
+		{0, 1},    // q<=0 -> minimum key
+		{0.05, 1}, // within the first 10%
+		{0.10, 1}, // exactly the first key's mass
+		{0.11, 2},
+		{0.50, 2},
+		{0.90, 2},
+		{0.91, 9},
+		{1.0, 9}, // q>=1 -> maximum key
+		{1.5, 9}, // clamped
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewHistogram()
+	if h.CDF() != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+	h.Add(3, 1)
+	h.Add(5, 3)
+	cdf := h.CDF()
+	if len(cdf) != 2 {
+		t.Fatalf("CDF has %d points, want 2", len(cdf))
+	}
+	if cdf[0].Key != 3 || cdf[0].Fraction != 0.25 {
+		t.Fatalf("first point = %+v, want {3 0.25}", cdf[0])
+	}
+	if cdf[1].Key != 5 || cdf[1].Fraction != 1.0 {
+		t.Fatalf("last point = %+v, want {5 1}", cdf[1])
+	}
+}

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+)
+
+// ServeOptions selects what the introspection server exposes. Both
+// fields are optional; pprof is always served.
+type ServeOptions struct {
+	// Registry, when non-nil, backs /metrics (Prometheus text
+	// exposition) and /vars (expvar-style JSON) from its latest
+	// published snapshot.
+	Registry *Registry
+	// Progress, when non-nil, is JSON-encoded at /progress on each
+	// request (live experiment-engine state).
+	Progress func() any
+}
+
+// Server is a live introspection endpoint bound to a listener.
+type Server struct {
+	ln    net.Listener
+	start time.Time
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.ln.Close() }
+
+// Serve binds addr and serves pprof (/debug/pprof/), Prometheus
+// metrics (/metrics), current metric values (/vars), and live
+// progress (/progress) in a background goroutine. It returns once the
+// listener is bound, so port conflicts surface synchronously.
+func Serve(addr string, opts ServeOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, start: time.Now()}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+		if opts.Registry != nil {
+			opts.Registry.WritePrometheus(&b)
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, b.String())
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap := opts.Registry.Latest()
+		out := struct {
+			UptimeSeconds float64            `json:"uptime_seconds"`
+			Cycle         uint64             `json:"cycle"`
+			Metrics       map[string]float64 `json:"metrics"`
+		}{UptimeSeconds: time.Since(s.start).Seconds(), Metrics: map[string]float64{}}
+		if snap != nil {
+			out.Cycle = snap.Cycle
+			for i, name := range snap.Names {
+				out.Metrics[name] = snap.Values[i]
+			}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if opts.Progress == nil {
+			fmt.Fprintln(w, "{}")
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(opts.Progress())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "amnt telemetry\n\n/metrics\n/vars\n/progress\n/debug/pprof/\n")
+	})
+
+	go func() {
+		// Serve returns when the listener closes; nothing to report.
+		_ = http.Serve(ln, mux)
+	}()
+	return s, nil
+}

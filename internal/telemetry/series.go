@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// DefaultEpochCycles is the sampling period when Config leaves it
+// zero: fine enough to resolve subtree movements at the paper's
+// 64-write interval, coarse enough that a full-length run stays in
+// the low thousands of samples.
+const DefaultEpochCycles = 100_000
+
+// Series is the epoch time series: one registry snapshot per
+// EpochCycles of simulated time. The simulation loop calls Tick with
+// the advancing clock; the first step past an epoch boundary samples.
+type Series struct {
+	reg   *Registry
+	epoch uint64
+	next  uint64
+	// samples are in strictly increasing cycle order.
+	samples []*Snapshot
+}
+
+// NewSeries builds a series over reg sampling every epochCycles
+// (0 = DefaultEpochCycles).
+func NewSeries(reg *Registry, epochCycles uint64) *Series {
+	if epochCycles == 0 {
+		epochCycles = DefaultEpochCycles
+	}
+	return &Series{reg: reg, epoch: epochCycles, next: epochCycles}
+}
+
+// EpochCycles returns the sampling period.
+func (s *Series) EpochCycles() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.epoch
+}
+
+// Tick samples the registry once when now has crossed the next epoch
+// boundary, then re-arms for the following boundary after now (a
+// long single step skips intermediate boundaries rather than emitting
+// stale duplicate samples). Nil-safe.
+func (s *Series) Tick(now uint64) {
+	if s == nil || now < s.next {
+		return
+	}
+	s.samples = append(s.samples, s.reg.Sample(now))
+	s.next = now - now%s.epoch + s.epoch
+}
+
+// Flush appends a final sample at now so the tail of the run (the
+// partial last epoch) is represented. A duplicate cycle is skipped.
+func (s *Series) Flush(now uint64) {
+	if s == nil {
+		return
+	}
+	if n := len(s.samples); n > 0 && s.samples[n-1].Cycle == now {
+		return
+	}
+	s.samples = append(s.samples, s.reg.Sample(now))
+}
+
+// Len returns the number of samples taken.
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.samples)
+}
+
+// Samples returns the collected snapshots in cycle order.
+func (s *Series) Samples() []*Snapshot {
+	if s == nil {
+		return nil
+	}
+	return s.samples
+}
+
+// formatValue renders a float64 compactly and losslessly for both
+// JSONL and CSV output (integers print without an exponent or
+// trailing zeros).
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSONL writes one JSON object per sample:
+//
+//	{"cycle":200000,"metrics":{"mee.data_reads":812, ...}}
+//
+// Keys keep registration order, so output is deterministic.
+func (s *Series) WriteJSONL(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, snap := range s.samples {
+		b.Reset()
+		fmt.Fprintf(&b, `{"cycle":%d,"metrics":{`, snap.Cycle)
+		for i, name := range snap.Names {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, `%q:%s`, name, formatValue(snap.Values[i]))
+		}
+		b.WriteString("}}\n")
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes a header row (cycle plus every column name) and one
+// row per sample.
+func (s *Series) WriteCSV(w io.Writer) error {
+	if s == nil || len(s.samples) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString("cycle")
+	for _, name := range s.samples[0].Names {
+		b.WriteByte(',')
+		b.WriteString(name)
+	}
+	b.WriteByte('\n')
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for _, snap := range s.samples {
+		b.Reset()
+		b.WriteString(strconv.FormatUint(snap.Cycle, 10))
+		for _, v := range snap.Values {
+			b.WriteByte(',')
+			b.WriteString(formatValue(v))
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
