@@ -6,10 +6,12 @@
 // BIOS, per §4.1.
 //
 // With -measure it goes beyond the analytic model: each protocol runs
-// a small functional workload, crashes, and performs real recovery —
+// a small functional workload through the fault-injection harness —
+// crash at -crash-cycle (0 = quiescence), optionally with an injected
+// fault (-inject torn|drop|reorder|bitrot), then real recovery —
 // reporting simulated recovery cycles, the model's projection from the
 // measured block counts, host wall-clock time, blocks scanned, and the
-// post-recovery integrity check.
+// invariant checker's verdict.
 //
 // Examples:
 //
@@ -17,28 +19,33 @@
 //	amntrecover -mem-tb 128 -budget 1s
 //	amntrecover -sweep
 //	amntrecover -measure -measure-mem-mb 128
+//	amntrecover -measure -crash-cycle 2000000 -inject torn -seed 7
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"amnt/internal/faults"
 	"amnt/internal/recovery"
-	"amnt/internal/sim"
 	"amnt/internal/stats"
 	"amnt/internal/workload"
 )
 
 func main() {
 	var (
-		memTB   = flag.Float64("mem-tb", 2, "SCM capacity in decimal terabytes")
-		budget  = flag.Duration("budget", time.Second, "tolerable recovery downtime")
-		sweep   = flag.Bool("sweep", false, "print the full Table 4 sweep and exit")
-		maxLvl  = flag.Int("max-level", 8, "deepest subtree level to consider")
-		measure = flag.Bool("measure", false, "crash a real (small) machine per protocol and measure recovery")
-		measMB  = flag.Int("measure-mem-mb", 128, "SCM capacity for -measure, in MiB")
+		memTB    = flag.Float64("mem-tb", 2, "SCM capacity in decimal terabytes")
+		budget   = flag.Duration("budget", time.Second, "tolerable recovery downtime")
+		sweep    = flag.Bool("sweep", false, "print the full Table 4 sweep and exit")
+		maxLvl   = flag.Int("max-level", 8, "deepest subtree level to consider")
+		measure  = flag.Bool("measure", false, "crash a real (small) machine per protocol and measure recovery")
+		measMB   = flag.Int("measure-mem-mb", 128, "SCM capacity for -measure, in MiB")
+		seed     = flag.Int64("seed", 1, "machine/workload seed for -measure (also drives the fault choice)")
+		crashCyc = flag.Uint64("crash-cycle", 0, "simulated cycle to crash at for -measure (0 = after the full run)")
+		inject   = flag.String("inject", "crash", "fault to inject at the crash point for -measure: crash, torn, drop, reorder, bitrot")
 	)
 	flag.Parse()
 
@@ -48,7 +55,12 @@ func main() {
 		return
 	}
 	if *measure {
-		measureRecovery(model, uint64(*measMB)<<20)
+		kind, err := faults.ParseKind(*inject)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amntrecover:", err)
+			os.Exit(2)
+		}
+		measureRecovery(model, uint64(*measMB)<<20, *seed, *crashCyc, kind)
 		return
 	}
 	memBytes := uint64(*memTB * 1e12)
@@ -94,51 +106,68 @@ func main() {
 		*maxLvl, *budget)
 }
 
-// measureRecovery runs a functional crash/recovery per protocol on a
-// small machine: real traffic fills the device, a crash drops volatile
-// state, and the protocol's actual recovery procedure runs — timed in
-// simulated cycles, projected through the analytic model, and timed on
-// the host. The post-recovery whole-memory verification closes the
-// loop (a protocol that mismanaged metadata fails it loudly).
-func measureRecovery(model recovery.Model, memBytes uint64) {
-	t := stats.NewTable(
-		fmt.Sprintf("Measured recovery at %d MiB", memBytes>>20),
+// measureRecovery runs a functional crash/recovery per protocol
+// through the fault-injection harness: real traffic fills the device,
+// the machine crashes at crashCycle (0 = quiescence), the chosen fault
+// lands on the device, and the protocol's actual recovery procedure
+// runs under the invariant checker — timed in simulated cycles,
+// projected through the analytic model, and timed on the host. The
+// checker's verdict closes the loop: "recovered" means every
+// independent invariant held, "detected" means the corruption surfaced
+// loudly, and any violation fails the process.
+func measureRecovery(model recovery.Model, memBytes uint64, seed int64, crashCycle uint64, kind faults.Kind) {
+	title := fmt.Sprintf("Measured recovery at %d MiB (seed %d", memBytes>>20, seed)
+	if crashCycle != 0 {
+		title += fmt.Sprintf(", crash @%d", crashCycle)
+	}
+	if kind != faults.KindCrash {
+		title += ", inject " + kind.String()
+	}
+	title += ")"
+	t := stats.NewTable(title,
 		"protocol", "sim cycles", "modeled time", "host wall",
-		"counters", "data", "nodes", "shadow", "stale", "integrity")
+		"counters", "data", "nodes", "shadow", "stale", "faults", "verdict")
+	spec := workload.Spec{
+		Name: "fill", Suite: "bench", FootprintBytes: memBytes / 2,
+		WriteRatio: 0.6, GapMean: 2, Model: workload.Chase,
+		Accesses: 60_000,
+	}
+	violations := 0
 	for _, proto := range []string{"strict", "leaf", "osiris", "anubis", "bmf", "amnt"} {
-		cfg := sim.DefaultConfig()
-		cfg.MemoryBytes = memBytes
-		policy, err := sim.PolicyByName(proto, cfg.SubtreeLevel)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "amntrecover:", err)
-			os.Exit(1)
+		res := faults.RunCell(context.Background(), faults.CellSpec{
+			Protocol:    proto,
+			Kind:        kind,
+			CrashCycle:  crashCycle,
+			MachineSeed: seed,
+			RNGSeed:     seed,
+			MemoryBytes: memBytes,
+			Workload:    spec,
+		})
+		verdict := res.Status
+		switch {
+		case res.Error != "":
+			verdict += ": " + res.Error
+		case res.RecoveryErr != "":
+			verdict += ": " + res.RecoveryErr
+		case res.VerifyErr != "":
+			verdict += ": " + res.VerifyErr
 		}
-		spec := workload.Spec{
-			Name: "fill", Suite: "bench", FootprintBytes: memBytes / 2,
-			WriteRatio: 0.6, GapMean: 2, Model: workload.Chase,
-			Accesses: 60_000,
+		if res.Status == faults.StatusViolation.String() {
+			violations++
+			for _, v := range res.Violations {
+				fmt.Fprintf(os.Stderr, "amntrecover: %s: VIOLATION: %s\n", proto, v)
+			}
 		}
-		m := sim.NewMachine(cfg, policy, []workload.Spec{spec})
-		if _, err := m.Run(); err != nil {
-			fmt.Fprintf(os.Stderr, "amntrecover: %s: %v\n", proto, err)
-			os.Exit(1)
-		}
-		m.Crash()
-		start := time.Now()
-		rep, rerr := m.Controller().Recover(m.Now())
-		wall := time.Since(start)
-		integrity := "OK"
-		if rerr != nil {
-			integrity = "FAILED: " + rerr.Error()
-		} else if verr := m.Controller().VerifyAll(m.Now()); verr != nil {
-			integrity = "FAILED: " + verr.Error()
-		}
+		rep := res.Report
 		t.AddRow(proto, rep.Cycles,
 			model.FromReport(rep).Round(time.Microsecond).String(),
-			wall.Round(time.Microsecond).String(),
+			res.RecoverWall.Round(time.Microsecond).String(),
 			rep.CounterReads, rep.DataReads, rep.NodeWrites, rep.ShadowReads,
-			fmt.Sprintf("%.3f%%", 100*rep.StaleFraction), integrity)
+			fmt.Sprintf("%.3f%%", 100*rep.StaleFraction), len(res.Injections), verdict)
 	}
 	t.AddNote("modeled time projects the measured block counts through the Table 4 latency model; host wall is simulator time, not hardware")
 	fmt.Println(t.Render())
+	if violations > 0 {
+		os.Exit(1)
+	}
 }

@@ -162,10 +162,11 @@ type cacheEntry struct {
 // many goroutines): cmd/amntbench binds a single engine across every
 // selected figure so baselines dedupe globally.
 type Engine struct {
-	parallel int
-	progress func(Progress)
-	start    time.Time
-	sem      chan struct{}
+	parallel    int
+	progress    func(Progress)
+	start       time.Time
+	sem         chan struct{}
+	cellTimeout time.Duration
 
 	mu                                    sync.Mutex
 	cache                                 map[runKey]*cacheEntry
@@ -185,11 +186,12 @@ func NewEngine(o Options) *Engine {
 		par = runtime.GOMAXPROCS(0)
 	}
 	return &Engine{
-		parallel: par,
-		progress: o.Progress,
-		start:    time.Now(),
-		sem:      make(chan struct{}, par),
-		cache:    make(map[runKey]*cacheEntry),
+		parallel:    par,
+		progress:    o.Progress,
+		start:       time.Now(),
+		sem:         make(chan struct{}, par),
+		cellTimeout: o.CellTimeout,
+		cache:       make(map[runKey]*cacheEntry),
 	}
 }
 
@@ -262,7 +264,15 @@ func (e *Engine) execute(ctx context.Context, label string, fn func(ctx context.
 				err = fmt.Errorf("%s: panic: %v\n%s", label, r, debug.Stack())
 			}
 		}()
-		res, err = fn(context.WithValue(ctx, slotKey{}, struct{}{}))
+		jctx := context.WithValue(ctx, slotKey{}, struct{}{})
+		if e.cellTimeout > 0 {
+			// Per-cell deadline: a wedged simulation fails its own job
+			// (RunContext polls the context) without stalling siblings.
+			var cancel context.CancelFunc
+			jctx, cancel = context.WithTimeout(jctx, e.cellTimeout)
+			defer cancel()
+		}
+		res, err = fn(jctx)
 	}()
 	wall := time.Since(start)
 	if err != nil {

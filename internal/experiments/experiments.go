@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"amnt/internal/cpu"
 	"amnt/internal/mee"
@@ -55,6 +56,11 @@ type Options struct {
 	// EpochCycles is the telemetry sampling period in simulated cycles
 	// (0 = telemetry.DefaultEpochCycles).
 	EpochCycles uint64
+	// CellTimeout bounds each job's wall time (0 = unbounded). A job
+	// past its deadline fails with context.DeadlineExceeded; sibling
+	// jobs are unaffected. The fault-injection sweeps set it so one
+	// wedged protocol cell cannot stall a whole matrix.
+	CellTimeout time.Duration
 
 	engine *Engine
 }

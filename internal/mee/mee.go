@@ -526,6 +526,28 @@ func (c *Controller) Barrier(now uint64) uint64 {
 // MergedWrites reports how many posted writes coalesced in the queue.
 func (c *Controller) MergedWrites() uint64 { return c.wq.mergedWrites() }
 
+// PendingWrite identifies one in-flight write-queue entry by its
+// device location.
+type PendingWrite struct {
+	Region scm.Region
+	Index  uint64
+}
+
+// PendingWrites returns the device locations of writes admitted to
+// the queue but not yet complete at time now, oldest first. In the
+// functional model queued writes already reached the device at issue
+// time (ADR semantics); the fault-injection harness uses this window
+// to explore the weaker model in which a power failure tears, drops,
+// or reorders exactly these entries.
+func (c *Controller) PendingWrites(now uint64) []PendingWrite {
+	keys := c.wq.inFlight(now)
+	out := make([]PendingWrite, len(keys))
+	for i, k := range keys {
+		out[i] = PendingWrite{Region: scm.Region(k >> 56), Index: k &^ (uint64(0xff) << 56)}
+	}
+	return out
+}
+
 // WriteQueueOccupancy returns the admit-time occupancy distribution of
 // the write queue (keys are entry counts, bounded by the queue depth).
 func (c *Controller) WriteQueueOccupancy() *stats.Histogram { return c.wq.occupancy() }

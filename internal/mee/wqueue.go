@@ -118,6 +118,18 @@ func (q *writeQueue) admit(now uint64, key uint64, tracked bool) (stall, done ui
 	return stall, done
 }
 
+// inFlight returns the address keys of tracked writes still pending
+// at time now, oldest first. Barrier entries (no address) are skipped.
+func (q *writeQueue) inFlight(now uint64) []uint64 {
+	var keys []uint64
+	for _, e := range q.entries {
+		if e.tracked && e.done > now {
+			keys = append(keys, e.key)
+		}
+	}
+	return keys
+}
+
 // pendingCount returns the number of in-flight writes at time now.
 func (q *writeQueue) pendingCount(now uint64) int {
 	n := 0

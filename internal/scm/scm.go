@@ -87,6 +87,15 @@ type Stats struct {
 	RegionWrites [numRegions]stats.Counter
 }
 
+// WriteObserver sees every durable Write as it happens: the block's
+// previous content (nil on first touch) and the content being
+// persisted. Both slices alias device storage and are only valid for
+// the duration of the call — observers that need the bytes later must
+// copy them. The fault-injection harness uses this to journal write
+// pre-images so a simulated power failure can tear or drop individual
+// persists.
+type WriteObserver func(region Region, index uint64, old, new []byte)
+
 // Device is a simulated SCM DIMM. Storage is sparse: blocks never
 // written read as zero and are reported as absent by Contains (the
 // memory controller uses absence to detect first-touch blocks).
@@ -94,6 +103,7 @@ type Device struct {
 	cfg   Config
 	store [numRegions]map[uint64]*[BlockSize]byte
 	stat  Stats
+	obs   WriteObserver
 }
 
 // New creates a device with the given configuration; zero fields take
@@ -166,12 +176,30 @@ func (d *Device) Write(region Region, index uint64, src []byte) uint64 {
 	d.stat.Writes.Inc()
 	d.stat.RegionWrites[region].Inc()
 	blk, ok := d.store[region][index]
+	if d.obs != nil {
+		if ok {
+			d.obs(region, index, blk[:], src)
+		} else {
+			d.obs(region, index, nil, src)
+		}
+	}
 	if !ok {
 		blk = new([BlockSize]byte)
 		d.store[region][index] = blk
 	}
 	copy(blk[:], src)
 	return d.cfg.WriteCycles
+}
+
+// SetWriteObserver installs (or, with nil, removes) a write observer.
+// The disabled path costs one pointer check per write.
+func (d *Device) SetWriteObserver(fn WriteObserver) { d.obs = fn }
+
+// Erase deletes one block from a region without timing or statistics,
+// reverting it to the never-written state. The fault injector uses it
+// to model a first-touch write that never reached the device.
+func (d *Device) Erase(region Region, index uint64) {
+	delete(d.store[region], index)
 }
 
 // Contains reports whether block (region, index) has ever been

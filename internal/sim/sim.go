@@ -387,6 +387,18 @@ const cancelCheckMask = 1<<10 - 1
 // cleanup) stops multi-minute simulations promptly instead of running
 // them to completion.
 func (m *Machine) RunContext(ctx context.Context) (Result, error) {
+	res, _, err := m.RunUntil(ctx, 0)
+	return res, err
+}
+
+// RunUntil is RunContext with a mid-run stopping point: the loop
+// halts as soon as the simulated clock reaches stopCycle (0 = run to
+// completion), returning the partial result and stopped=true. The
+// machine is left at a step boundary — no access is half-executed —
+// which is exactly the state a power failure at that cycle would
+// find, so the fault-injection harness uses this as its crash-point
+// hook: run to the crash cycle, inject, Crash, Recover.
+func (m *Machine) RunUntil(ctx context.Context, stopCycle uint64) (Result, bool, error) {
 	live := make([]bool, len(m.traces))
 	for i := range live {
 		live[i] = true
@@ -396,7 +408,7 @@ func (m *Machine) RunContext(ctx context.Context) (Result, error) {
 		if sweep&cancelCheckMask == 0 {
 			select {
 			case <-ctx.Done():
-				return Result{}, fmt.Errorf("sim: run aborted at cycle %d: %w", m.now, ctx.Err())
+				return Result{}, false, fmt.Errorf("sim: run aborted at cycle %d: %w", m.now, ctx.Err())
 			default:
 			}
 		}
@@ -406,7 +418,7 @@ func (m *Machine) RunContext(ctx context.Context) (Result, error) {
 			}
 			done, err := m.Step(i)
 			if err != nil {
-				return Result{}, err
+				return Result{}, false, err
 			}
 			if done {
 				live[i] = false
@@ -415,9 +427,12 @@ func (m *Machine) RunContext(ctx context.Context) (Result, error) {
 					remaining = 0
 				}
 			}
+			if stopCycle != 0 && m.now >= stopCycle {
+				return m.result(), true, nil
+			}
 		}
 	}
-	return m.result(), nil
+	return m.result(), false, nil
 }
 
 // Drain writes all dirty data back through the MEE (clean shutdown).

@@ -27,6 +27,14 @@ const (
 	// EvRecovery: a crash recovery completed (Cycles is simulated
 	// recovery time, Count blocks scanned, Note the protocol).
 	EvRecovery = "recovery"
+	// EvFault: the fault-injection harness applied one fault to the
+	// device (Cycle is the crash cycle, Addr the block index, Note
+	// "protocol/kind/region").
+	EvFault = "fault"
+	// EvInvariantViolation: the recovery invariant checker flagged a
+	// cell — a panic, a hang, or silently accepted corruption (Note
+	// carries the violation text).
+	EvInvariantViolation = "invariant_violation"
 )
 
 // Event is one timestamped protocol occurrence. It is a flat,
@@ -71,10 +79,14 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{buf: make([]Event, 0, capacity)}
 }
 
-// Emit records one event, overwriting the oldest when full. Nil-safe.
+// Emit records one event, overwriting the oldest when full. Nil-safe;
+// a zero-value Tracer allocates the default ring on first use.
 func (t *Tracer) Emit(e Event) {
 	if t == nil {
 		return
+	}
+	if cap(t.buf) == 0 {
+		t.buf = make([]Event, 0, DefaultTraceCapacity)
 	}
 	t.total++
 	if len(t.buf) < cap(t.buf) {
