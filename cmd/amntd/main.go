@@ -1,0 +1,251 @@
+// Command amntd serves the sharded secure-SCM store over HTTP: a
+// JSON key/value API in front of internal/store, the telemetry
+// introspection endpoints (/metrics, /vars, /debug/pprof/), and a
+// live chaos endpoint that injects a fault-laden power failure into
+// one shard while the rest keep serving.
+//
+// API:
+//
+//	PUT  /kv/{key}         store the raw request body (≤ 63 bytes)
+//	GET  /kv/{key}         -> {"key":.., "value_b64":..}
+//	POST /flush            global persist barrier
+//	POST /checkpoint       persist shard images to -checkpoint-dir
+//	POST /recover          power-cycle every shard (crash + recover + verify)
+//	POST /chaos?shard=0&kind=torn&seed=1   fault-injected power failure
+//	GET  /store/stats      per-shard and aggregate counters
+//
+// Shutdown (SIGINT/SIGTERM) is graceful: the HTTP server drains via
+// Shutdown, then the store drains its queues, flushes, and writes a
+// final checkpoint.
+//
+// Example:
+//
+//	amntd -addr :8080 -shards 4 -protocol amnt -checkpoint-dir /tmp/amnt
+package main
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	_ "amnt/internal/core" // register the AMNT protocol family
+	"amnt/internal/store"
+	"amnt/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		shards     = flag.Int("shards", 4, "independent controller shards")
+		memMB      = flag.Int("shard-mem-mb", 4, "SCM data capacity per shard, MiB")
+		protocol   = flag.String("protocol", "amnt", "persistence protocol (mee registry name)")
+		level      = flag.Int("level", 3, "AMNT subtree level")
+		queue      = flag.Int("queue", 64, "bounded request queue depth per shard")
+		batch      = flag.Int("batch", 16, "max requests drained per worker wakeup")
+		ckptDir    = flag.String("checkpoint-dir", "", "checkpoint directory (empty = no checkpoints)")
+		reqTimeout = flag.Duration("req-timeout", 2*time.Second, "per-request serving deadline")
+		sample     = flag.Duration("sample", 250*time.Millisecond, "telemetry sampling period")
+	)
+	flag.Parse()
+
+	cfg := store.Config{
+		Shards:        *shards,
+		ShardMemBytes: uint64(*memMB) << 20,
+		Protocol:      *protocol,
+		QueueDepth:    *queue,
+		BatchMax:      *batch,
+		CheckpointDir: *ckptDir,
+	}
+	cfg.PolicyOptions.SubtreeLevel = *level
+	st, err := store.Open(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amntd:", err)
+		os.Exit(1)
+	}
+
+	reg := telemetry.NewRegistry()
+	st.RegisterMetrics(reg)
+	srv, err := telemetry.Serve(*addr, telemetry.ServeOptions{
+		Registry: reg,
+		Progress: func() any { return st.Stats() },
+		Register: func(mux *http.ServeMux) { mount(mux, st, *reqTimeout) },
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amntd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("amntd: serving %d×%s shards on %s\n", *shards, *protocol, srv.Addr())
+
+	// Sampler: the only goroutine that calls reg.Sample. Columns read
+	// published atomics, so this never races the shard workers.
+	stopSample := make(chan struct{})
+	sampleDone := make(chan struct{})
+	go func() {
+		defer close(sampleDone)
+		tick := time.NewTicker(*sample)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				reg.Sample(st.TotalCycles())
+			case <-stopSample:
+				return
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("amntd: shutting down")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "amntd: http shutdown:", err)
+	}
+	close(stopSample)
+	<-sampleDone
+	if err := st.Close(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "amntd: store close:", err)
+		os.Exit(1)
+	}
+	fmt.Println("amntd: store drained and checkpointed")
+}
+
+// mount attaches the store routes to the telemetry mux.
+func mount(mux *http.ServeMux, st *store.Store, reqTimeout time.Duration) {
+	mux.HandleFunc("/kv/", func(w http.ResponseWriter, r *http.Request) {
+		key, err := strconv.ParseUint(strings.TrimPrefix(r.URL.Path, "/kv/"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad key: %w", err))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), reqTimeout)
+		defer cancel()
+		switch r.Method {
+		case http.MethodGet:
+			v, err := st.Get(ctx, key)
+			if err != nil {
+				httpError(w, statusFor(err), err)
+				return
+			}
+			writeJSON(w, map[string]any{
+				"key":       key,
+				"value_b64": base64.StdEncoding.EncodeToString(v),
+			})
+		case http.MethodPut, http.MethodPost:
+			body, err := io.ReadAll(io.LimitReader(r.Body, store.MaxValueLen+1))
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			if err := st.Put(ctx, key, body); err != nil {
+				httpError(w, statusFor(err), err)
+				return
+			}
+			writeJSON(w, map[string]any{"ok": true, "key": key})
+		default:
+			httpError(w, http.StatusMethodNotAllowed, errors.New("use GET or PUT"))
+		}
+	})
+	control := func(name string, fn func(context.Context) error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+				return
+			}
+			// Control ops (recover runs a full verify) get a wider
+			// deadline than the data path.
+			ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+			defer cancel()
+			if err := fn(ctx); err != nil {
+				httpError(w, statusFor(err), err)
+				return
+			}
+			writeJSON(w, map[string]any{"ok": true, "op": name})
+		}
+	}
+	mux.HandleFunc("/flush", control("flush", st.Flush))
+	mux.HandleFunc("/checkpoint", control("checkpoint", st.Checkpoint))
+	mux.HandleFunc("/recover", control("recover", st.Recover))
+	mux.HandleFunc("/chaos", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+			return
+		}
+		q := r.URL.Query()
+		spec := store.ChaosSpec{Kind: q.Get("kind")}
+		if spec.Kind == "" {
+			spec.Kind = "torn"
+		}
+		if v := q.Get("shard"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			spec.Shard = n
+		}
+		if v := q.Get("seed"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			spec.Seed = n
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+		defer cancel()
+		res, err := st.Chaos(ctx, spec)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, res)
+	})
+	mux.HandleFunc("/store/stats", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, st.Stats())
+	})
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, store.ErrOverloaded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, store.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, store.ErrValueTooLarge), errors.Is(err, store.ErrOutOfRange):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,247 @@
+// Command amntload replays an internal/workload trace against a
+// running amntd as concurrent HTTP client traffic and reports
+// throughput and latency quantiles.
+//
+// Each client walks its own deterministic trace: a workload access at
+// virtual address VAddr becomes key (VAddr/64) % keyspace; stores
+// become PUTs, loads become GETs. Values are derived from the key
+// alone, so every successful GET is also an end-to-end integrity
+// check — a response that decodes to the wrong key is counted as a
+// corruption (and fails the run).
+//
+// Overloaded responses (HTTP 503, the store's explicit backpressure)
+// are counted and retried-as-next-op rather than treated as errors.
+//
+// Example:
+//
+//	amntload -addr http://localhost:8080 -workload ycsb-a -clients 8 -ops 20000
+//	amntload -addr http://localhost:8080 -json > BENCH_store.json
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"amnt/internal/stats"
+	"amnt/internal/workload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://localhost:8080", "amntd base URL")
+		name      = flag.String("workload", "ycsb-a", "workload name (workload.ByName) or 'uniform'")
+		clients   = flag.Int("clients", 8, "concurrent client goroutines")
+		ops       = flag.Int("ops", 20000, "total operations across all clients")
+		keyspace  = flag.Uint64("keyspace", 1<<14, "distinct keys")
+		valueLen  = flag.Int("value-len", 24, "value payload bytes (8-byte key stamp + filler)")
+		seed      = flag.Int64("seed", 1, "trace seed")
+		writeFrac = flag.Float64("write-frac", 0.5, "store fraction for -workload uniform")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON (BENCH_store.json format)")
+	)
+	flag.Parse()
+	if *valueLen < 8 || *valueLen > 63 {
+		fmt.Fprintln(os.Stderr, "amntload: -value-len must be in [8, 63]")
+		os.Exit(1)
+	}
+
+	spec, ok := workload.ByName(*name)
+	if !ok {
+		if *name != "uniform" {
+			fmt.Fprintf(os.Stderr, "amntload: unknown workload %q (have %v, uniform)\n", *name, workload.Names())
+			os.Exit(1)
+		}
+		spec = workload.Spec{
+			Name: "uniform", Suite: "synthetic", Model: workload.Chase,
+			FootprintBytes: *keyspace * 64, WriteRatio: *writeFrac,
+			Accesses: uint64(*ops),
+		}
+	}
+
+	perClient := *ops / *clients
+	if perClient == 0 {
+		perClient = 1
+	}
+	results := make([]clientResult, *clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cs := spec
+			cs.Accesses = uint64(perClient)
+			results[i] = runClient(*addr, workload.NewTrace(cs, *seed+int64(i)), *keyspace, *valueLen)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	// Merge per-client latency histograms (microsecond keys) and
+	// counters into one report.
+	merged := report{
+		Workload: spec.Name, Clients: *clients, ValueLen: *valueLen,
+		Keyspace: *keyspace, DurationSec: wall.Seconds(),
+	}
+	getHist, putHist := stats.NewHistogram(), stats.NewHistogram()
+	for _, r := range results {
+		merged.Gets += r.gets
+		merged.Puts += r.puts
+		merged.NotFound += r.notFound
+		merged.Overloads += r.overloads
+		merged.Corruptions += r.corruptions
+		merged.Errors += r.errors
+		getHist.Merge(r.getLat)
+		putHist.Merge(r.putLat)
+	}
+	total := merged.Gets + merged.Puts
+	if wall > 0 {
+		merged.OpsPerSec = float64(total) / wall.Seconds()
+	}
+	merged.GetLat = quantiles(getHist)
+	merged.PutLat = quantiles(putHist)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(merged)
+	} else {
+		fmt.Printf("workload %s: %d ops (%d gets, %d puts) in %.2fs = %.0f ops/s\n",
+			merged.Workload, total, merged.Gets, merged.Puts, merged.DurationSec, merged.OpsPerSec)
+		fmt.Printf("get latency µs: p50=%d p99=%d max=%d\n",
+			merged.GetLat.P50, merged.GetLat.P99, merged.GetLat.Max)
+		fmt.Printf("put latency µs: p50=%d p99=%d max=%d\n",
+			merged.PutLat.P50, merged.PutLat.P99, merged.PutLat.Max)
+		fmt.Printf("not-found=%d overloaded=%d errors=%d corruptions=%d\n",
+			merged.NotFound, merged.Overloads, merged.Errors, merged.Corruptions)
+	}
+	if merged.Corruptions > 0 {
+		fmt.Fprintln(os.Stderr, "amntload: CORRUPTION observed")
+		os.Exit(1)
+	}
+}
+
+type latQuantiles struct {
+	P50 uint64 `json:"p50_us"`
+	P90 uint64 `json:"p90_us"`
+	P99 uint64 `json:"p99_us"`
+	Max uint64 `json:"max_us"`
+}
+
+func quantiles(h *stats.Histogram) latQuantiles {
+	return latQuantiles{
+		P50: h.Quantile(0.50),
+		P90: h.Quantile(0.90),
+		P99: h.Quantile(0.99),
+		Max: h.Quantile(1.0),
+	}
+}
+
+type report struct {
+	Workload    string       `json:"workload"`
+	Clients     int          `json:"clients"`
+	Keyspace    uint64       `json:"keyspace"`
+	ValueLen    int          `json:"value_len"`
+	DurationSec float64      `json:"duration_sec"`
+	OpsPerSec   float64      `json:"ops_per_sec"`
+	Gets        uint64       `json:"gets"`
+	Puts        uint64       `json:"puts"`
+	NotFound    uint64       `json:"not_found"`
+	Overloads   uint64       `json:"overloads"`
+	Errors      uint64       `json:"errors"`
+	Corruptions uint64       `json:"corruptions"`
+	GetLat      latQuantiles `json:"get_latency"`
+	PutLat      latQuantiles `json:"put_latency"`
+}
+
+type clientResult struct {
+	gets, puts, notFound, overloads, corruptions, errors uint64
+	getLat, putLat                                       *stats.Histogram
+}
+
+// valueFor derives a key's canonical value: the key stamped little-
+// endian into the first 8 bytes, deterministic filler after. Any GET
+// response must match this prefix regardless of which PUT it
+// observed.
+func valueFor(key uint64, n int) []byte {
+	v := make([]byte, n)
+	binary.LittleEndian.PutUint64(v, key)
+	for i := 8; i < n; i++ {
+		v[i] = byte(key>>uint(i%8)) ^ byte(i)
+	}
+	return v
+}
+
+func runClient(addr string, trace *workload.Trace, keyspace uint64, valueLen int) clientResult {
+	res := clientResult{getLat: stats.NewHistogram(), putLat: stats.NewHistogram()}
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	for {
+		acc, ok := trace.Next()
+		if !ok {
+			break
+		}
+		key := (acc.VAddr / 64) % keyspace
+		url := fmt.Sprintf("%s/kv/%d", addr, key)
+		t0 := time.Now()
+		if acc.Write {
+			req, _ := http.NewRequest(http.MethodPut, url, bytes.NewReader(valueFor(key, valueLen)))
+			resp, err := httpc.Do(req)
+			us := uint64(time.Since(t0).Microseconds())
+			res.puts++
+			res.putLat.Observe(us)
+			if err != nil {
+				res.errors++
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusServiceUnavailable:
+				res.overloads++
+			case resp.StatusCode/100 != 2:
+				res.errors++
+			}
+			continue
+		}
+		resp, err := httpc.Get(url)
+		us := uint64(time.Since(t0).Microseconds())
+		res.gets++
+		res.getLat.Observe(us)
+		if err != nil {
+			res.errors++
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var out struct {
+				Key      uint64 `json:"key"`
+				ValueB64 string `json:"value_b64"`
+			}
+			if err := json.Unmarshal(body, &out); err != nil {
+				res.errors++
+				continue
+			}
+			v, err := base64.StdEncoding.DecodeString(out.ValueB64)
+			if err != nil || !bytes.Equal(v, valueFor(key, len(v))) {
+				res.corruptions++
+			}
+		case http.StatusNotFound:
+			res.notFound++
+		case http.StatusServiceUnavailable:
+			res.overloads++
+		default:
+			res.errors++
+		}
+	}
+	return res
+}

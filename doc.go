@@ -25,9 +25,15 @@
 //	internal/hybrid      SCM+DRAM partitioned machine (§7.3)
 //	internal/sgxtree     SGX-style counter-embedded tree (§2.1)
 //	internal/experiments one driver per paper figure/table + ablations
+//	internal/faults      fault injection + recovery invariant checker
+//	internal/telemetry   metrics, time series, trace, HTTP introspection
+//	internal/store       sharded concurrent KV store over MEE shards
 //	cmd/amntsim          run one workload × protocol
 //	cmd/amntbench        regenerate the paper's evaluation
 //	cmd/amntrecover      recovery-time explorer
+//	cmd/amntcrash        crash matrix sweep
+//	cmd/amntd            HTTP serving daemon over the sharded store
+//	cmd/amntload         concurrent load generator for amntd
 //	examples/...         seven runnable walkthroughs
 //
 // The benchmark harness in bench_test.go regenerates every table and

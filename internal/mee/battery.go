@@ -37,7 +37,8 @@ func (*Battery) WriteThroughTree(int, uint64) bool { return false }
 // metadata.
 func (b *Battery) PreCrash(now uint64) uint64 {
 	before := b.ctrl.Stats().PostedWrites.Value()
-	cycles := b.ctrl.Flush(now)
+	// flush, not Flush: PreCrash runs inside the guarded Crash.
+	cycles := b.ctrl.flush(now)
 	b.flushed += b.ctrl.Stats().PostedWrites.Value() - before
 	b.flushEvents++
 	return cycles

@@ -32,13 +32,15 @@ const checkpointMagic = "AMNTCKP1"
 // warm-up once, then fork crash/recovery experiments from the
 // checkpoint.
 func (c *Controller) SaveCheckpoint(w io.Writer) error {
+	c.enter()
+	defer c.exit()
 	if c.trace != nil {
 		c.trace.Emit(telemetry.Event{
 			Kind: telemetry.EvCheckpoint,
 			Note: "save: " + c.policy.Name(),
 		})
 	}
-	c.Flush(0)
+	c.flush(0)
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(checkpointMagic); err != nil {
 		return err
@@ -76,6 +78,8 @@ func (c *Controller) SaveCheckpoint(w io.Writer) error {
 // (metadata cache, write queue, policy tracking) resets, exactly as
 // on a reboot from persistent media.
 func (c *Controller) LoadCheckpoint(r io.Reader) error {
+	c.enter()
+	defer c.exit()
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(checkpointMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {

@@ -22,6 +22,7 @@ package mee
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"amnt/internal/bmt"
 	"amnt/internal/cache"
@@ -195,6 +196,13 @@ func (k MetaKey) region() (scm.Region, uint64) {
 	panic("mee: unknown key kind")
 }
 
+// ErrConcurrentUse is the message of the panic raised when two
+// controller operations overlap in time — the single-writer contract
+// (see Controller) was violated.
+const ErrConcurrentUse = "mee: Controller is not safe for concurrent use: " +
+	"overlapping operations detected — each Controller must be driven by " +
+	"one goroutine at a time (wrap it in internal/store for a concurrent front-end)"
+
 // Stats aggregates controller activity.
 type Stats struct {
 	DataReads    stats.Counter
@@ -211,8 +219,22 @@ type Stats struct {
 	PolicyCycles stats.Counter // cycles charged by policy hooks
 }
 
-// Controller is the secure memory controller. Not safe for concurrent
-// use; each simulated machine owns one.
+// Controller is the secure memory controller.
+//
+// Concurrency contract: a Controller is single-writer. Every
+// operation mutates shared state (metadata cache, write-queue timing,
+// the root register), so exactly one goroutine may drive a Controller
+// at any moment. Sequential hand-off between goroutines is fine
+// (e.g. the fault checker running Recover on a watchdog goroutine, or
+// a store shard worker taking ownership at construction) as long as
+// the hand-off establishes happens-before (channel send/receive,
+// WaitGroup, mutex). Overlapping calls are a programming error: the
+// top-level operations (ReadBlock, WriteBlock, Flush, Crash, Recover,
+// VerifyAll, Save/LoadCheckpoint) carry an atomic in-use guard that
+// panics with ErrConcurrentUse when two of them run at once, so
+// misuse fails loudly — including under -race — instead of silently
+// corrupting metadata. Concurrent serving is built by sharding, one
+// controller per worker goroutine (see internal/store).
 type Controller struct {
 	cfg      Config
 	dev      *scm.Device
@@ -234,7 +256,23 @@ type Controller struct {
 	// crash/recovery). Nil when telemetry is disabled; every emit site
 	// is guarded so the disabled path allocates nothing.
 	trace *telemetry.Tracer
+	// busy is the single-writer guard: set while a top-level operation
+	// runs, so an overlapping call from another goroutine panics
+	// (ErrConcurrentUse) instead of racing on controller state.
+	busy atomic.Int32
 }
+
+// enter claims the controller for one top-level operation; exit
+// releases it. Guarded methods never nest (internal helpers call the
+// unexported variants), so a failed claim is always a second
+// goroutine overlapping the first.
+func (c *Controller) enter() {
+	if !c.busy.CompareAndSwap(0, 1) {
+		panic(ErrConcurrentUse)
+	}
+}
+
+func (c *Controller) exit() { c.busy.Store(0) }
 
 // New builds a controller over dev with the given policy. The tree
 // geometry is derived from the device capacity; the root register is
@@ -603,6 +641,12 @@ const hmacSlotsPerBlock = scm.BlockSize / cme.MACSize
 // (BlockSize bytes), returning the latency in cycles. A block never
 // written reads as zeroes without verification (first touch).
 func (c *Controller) ReadBlock(now uint64, b uint64, dst []byte) (uint64, error) {
+	c.enter()
+	defer c.exit()
+	return c.readBlock(now, b, dst)
+}
+
+func (c *Controller) readBlock(now uint64, b uint64, dst []byte) (uint64, error) {
 	if len(dst) != scm.BlockSize {
 		panic("mee: ReadBlock buffer must be BlockSize bytes")
 	}
@@ -648,6 +692,8 @@ func (c *Controller) ReadBlock(now uint64, b uint64, dst []byte) (uint64, error)
 // plaintext src to data block b, applying the persistence policy to
 // every metadata update. Returns the latency in cycles.
 func (c *Controller) WriteBlock(now uint64, b uint64, src []byte) (uint64, error) {
+	c.enter()
+	defer c.exit()
 	if len(src) != scm.BlockSize {
 		panic("mee: WriteBlock buffer must be BlockSize bytes")
 	}
@@ -803,6 +849,15 @@ func (c *Controller) reencryptPage(now uint64, ctrIdx uint64, old, fresh *counte
 
 // Flush writes back every dirty metadata block (a clean shutdown).
 func (c *Controller) Flush(now uint64) uint64 {
+	c.enter()
+	defer c.exit()
+	return c.flush(now)
+}
+
+// flush is Flush without the concurrency guard, for callers already
+// inside a guarded operation (battery's PreCrash runs inside Crash,
+// SaveCheckpoint flushes before serializing).
+func (c *Controller) flush(now uint64) uint64 {
 	var cycles uint64
 	for _, k := range c.meta.FlushDirty(nil) {
 		key := MetaKey(k)
@@ -827,6 +882,8 @@ type PreCrasher interface {
 // lost; the device and NV registers survive. A PreCrasher policy gets
 // its residual-energy window first.
 func (c *Controller) Crash() {
+	c.enter()
+	defer c.exit()
 	if c.trace != nil {
 		c.trace.Emit(telemetry.Event{
 			Kind: telemetry.EvCrash,
@@ -844,6 +901,8 @@ func (c *Controller) Crash() {
 
 // Recover runs the active policy's crash recovery procedure.
 func (c *Controller) Recover(now uint64) (RecoveryReport, error) {
+	c.enter()
+	defer c.exit()
 	rep, err := c.policy.Recover(now)
 	if c.trace != nil {
 		note := rep.Protocol
@@ -865,9 +924,11 @@ func (c *Controller) Recover(now uint64) (RecoveryReport, error) {
 // it is the whole-memory integrity check used by attack and recovery
 // tests. Returns the first violation encountered.
 func (c *Controller) VerifyAll(now uint64) error {
+	c.enter()
+	defer c.exit()
 	var buf [scm.BlockSize]byte
 	for _, b := range c.dev.Indices(scm.Data) {
-		if _, err := c.ReadBlock(now, b, buf[:]); err != nil {
+		if _, err := c.readBlock(now, b, buf[:]); err != nil {
 			return err
 		}
 	}

@@ -32,6 +32,25 @@ func (h *Histogram) Add(key uint64, n uint64) {
 // Count returns the number of events observed at key.
 func (h *Histogram) Count(key uint64) uint64 { return h.counts[key] }
 
+// Clone returns an independent copy. Histograms are unsynchronized, so
+// concurrent readers (telemetry handlers, the store's stats endpoint)
+// take a clone under the owner's lock and compute quantiles outside it.
+func (h *Histogram) Clone() *Histogram {
+	out := &Histogram{counts: make(map[uint64]uint64, len(h.counts)), total: h.total}
+	for k, c := range h.counts {
+		out.counts[k] = c
+	}
+	return out
+}
+
+// Merge folds other's events into h. The load generator merges
+// per-client latency histograms into one report with this.
+func (h *Histogram) Merge(other *Histogram) {
+	for k, c := range other.counts {
+		h.Add(k, c)
+	}
+}
+
 // Total returns the number of events observed across all keys.
 func (h *Histogram) Total() uint64 { return h.total }
 

@@ -1,0 +1,70 @@
+package store
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkStoreThroughput measures end-to-end store ops/sec (mixed
+// 50/50 get/put over a shared keyspace) as the shard count scales.
+// Overloaded submissions retry — the benchmark measures completed
+// operations, with the rejection rate reported as overloads/op.
+func BenchmarkStoreThroughput(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, err := Open(Config{
+				Shards:        shards,
+				ShardMemBytes: 1 << 20,
+				Protocol:      "leaf",
+				QueueDepth:    256,
+				BatchMax:      32,
+			})
+			if err != nil {
+				b.Fatalf("open: %v", err)
+			}
+			defer func() {
+				if err := s.Close(context.Background()); err != nil {
+					b.Fatalf("close: %v", err)
+				}
+			}()
+			ctx := context.Background()
+			keyspace := uint64(shards) * (1 << 12)
+			var seq, overloads atomic.Uint64
+			val := make([]byte, 24)
+
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				v := make([]byte, len(val))
+				for pb.Next() {
+					n := seq.Add(1)
+					key := (n * 2654435761) % keyspace
+					var err error
+					for {
+						if n%2 == 0 {
+							binary.LittleEndian.PutUint64(v, key)
+							err = s.Put(ctx, key, v)
+						} else {
+							_, err = s.Get(ctx, key)
+							if errors.Is(err, ErrNotFound) {
+								err = nil
+							}
+						}
+						if !errors.Is(err, ErrOverloaded) {
+							break
+						}
+						overloads.Add(1)
+					}
+					if err != nil {
+						b.Fatalf("op %d: %v", n, err)
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(overloads.Load())/float64(b.N), "overloads/op")
+		})
+	}
+}

@@ -1,0 +1,187 @@
+package store
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"amnt/internal/telemetry"
+)
+
+// shardMetrics is the shard's externally visible state. The worker
+// owns the controller, so telemetry must not read mee state directly
+// (Registry.Sample and HTTP handlers run on other goroutines);
+// instead the worker publishes snapshots into these atomics after
+// every batch and readers see the last published value.
+type shardMetrics struct {
+	gets, puts, flushes, checkpoints, recoveries atomic.Uint64
+	misses, integrityErrs, otherErrs, overloads  atomic.Uint64
+	batches, batchItems, failures                atomic.Uint64
+
+	chaosRuns, chaosRecovered, chaosDetected atomic.Uint64
+	chaosRepaired, chaosViolations           atomic.Uint64
+
+	// Controller snapshot, published by the worker.
+	cycles, dataReads, dataWrites, metaFetches atomic.Uint64
+	postedWrites, stallCycles, mergedWrites    atomic.Uint64
+}
+
+// publish snapshots the worker-owned controller counters into the
+// shared atomics. Worker-goroutine only.
+func (sh *shard) publish() {
+	st := sh.ctrl.Stats()
+	m := &sh.m
+	m.cycles.Store(sh.now)
+	m.dataReads.Store(st.DataReads.Value())
+	m.dataWrites.Store(st.DataWrites.Value())
+	m.metaFetches.Store(st.MetaFetches.Value())
+	m.postedWrites.Store(st.PostedWrites.Value())
+	m.stallCycles.Store(st.StallCycles.Value())
+	m.mergedWrites.Store(sh.ctrl.MergedWrites())
+}
+
+// ShardSnapshot is one shard's published counters.
+type ShardSnapshot struct {
+	Shard         int    `json:"shard"`
+	Serving       bool   `json:"serving"`
+	QueueLen      int    `json:"queue_len"`
+	Gets          uint64 `json:"gets"`
+	Puts          uint64 `json:"puts"`
+	Misses        uint64 `json:"misses"`
+	Flushes       uint64 `json:"flushes"`
+	Checkpoints   uint64 `json:"checkpoints"`
+	Recoveries    uint64 `json:"recoveries"`
+	Overloads     uint64 `json:"overloads"`
+	IntegrityErrs uint64 `json:"integrity_errors"`
+	OtherErrs     uint64 `json:"other_errors"`
+	Batches       uint64 `json:"batches"`
+	BatchItems    uint64 `json:"batch_items"`
+	ChaosRuns     uint64 `json:"chaos_runs"`
+	Cycles        uint64 `json:"sim_cycles"`
+	DataReads     uint64 `json:"data_reads"`
+	DataWrites    uint64 `json:"data_writes"`
+	MetaFetches   uint64 `json:"meta_fetches"`
+	PostedWrites  uint64 `json:"posted_writes"`
+	StallCycles   uint64 `json:"stall_cycles"`
+	MergedWrites  uint64 `json:"merged_writes"`
+}
+
+// Snapshot is the whole store's published state.
+type Snapshot struct {
+	Shards    []ShardSnapshot `json:"shards"`
+	Ops       uint64          `json:"ops"`
+	Overloads uint64          `json:"overloads"`
+}
+
+// Stats returns the current published counters for every shard plus
+// aggregates. Safe to call from any goroutine.
+func (s *Store) Stats() Snapshot {
+	out := Snapshot{Shards: make([]ShardSnapshot, len(s.shards)), Overloads: s.overloads.Load()}
+	for i, sh := range s.shards {
+		m := &sh.m
+		ss := ShardSnapshot{
+			Shard:         i,
+			Serving:       !sh.failed.Load(),
+			QueueLen:      len(sh.ch),
+			Gets:          m.gets.Load(),
+			Puts:          m.puts.Load(),
+			Misses:        m.misses.Load(),
+			Flushes:       m.flushes.Load(),
+			Checkpoints:   m.checkpoints.Load(),
+			Recoveries:    m.recoveries.Load(),
+			Overloads:     m.overloads.Load(),
+			IntegrityErrs: m.integrityErrs.Load(),
+			OtherErrs:     m.otherErrs.Load(),
+			Batches:       m.batches.Load(),
+			BatchItems:    m.batchItems.Load(),
+			ChaosRuns:     m.chaosRuns.Load(),
+			Cycles:        m.cycles.Load(),
+			DataReads:     m.dataReads.Load(),
+			DataWrites:    m.dataWrites.Load(),
+			MetaFetches:   m.metaFetches.Load(),
+			PostedWrites:  m.postedWrites.Load(),
+			StallCycles:   m.stallCycles.Load(),
+			MergedWrites:  m.mergedWrites.Load(),
+		}
+		out.Shards[i] = ss
+		out.Ops += ss.Gets + ss.Puts
+	}
+	return out
+}
+
+// sum folds one atomic counter across shards.
+func (s *Store) sum(pick func(*shardMetrics) *atomic.Uint64) uint64 {
+	var t uint64
+	for _, sh := range s.shards {
+		t += pick(&sh.m).Load()
+	}
+	return t
+}
+
+// RegisterMetrics adds per-shard and aggregate store columns to reg.
+// Every column reads only published atomics or channel lengths, so
+// sampling never races the shard workers.
+func (s *Store) RegisterMetrics(reg *telemetry.Registry) {
+	for i, sh := range s.shards {
+		sh := sh
+		p := fmt.Sprintf("store.shard%d", i)
+		reg.Counter(p+".gets", "get requests served", sh.m.gets.Load)
+		reg.Counter(p+".puts", "put requests served", sh.m.puts.Load)
+		reg.Counter(p+".misses", "gets of never-written keys", sh.m.misses.Load)
+		reg.Counter(p+".overloads", "requests rejected by the bounded queue", sh.m.overloads.Load)
+		reg.Counter(p+".integrity_errors", "requests failed on integrity violations", sh.m.integrityErrs.Load)
+		reg.Counter(p+".recoveries", "successful power-cycle recoveries", sh.m.recoveries.Load)
+		reg.Counter(p+".chaos_runs", "chaos injections executed", sh.m.chaosRuns.Load)
+		reg.Counter(p+".sim_cycles", "simulated cycles consumed", sh.m.cycles.Load)
+		reg.Counter(p+".data_reads", "verified data block reads", sh.m.dataReads.Load)
+		reg.Counter(p+".data_writes", "encrypted data block writes", sh.m.dataWrites.Load)
+		reg.Counter(p+".meta_fetches", "metadata blocks fetched from SCM", sh.m.metaFetches.Load)
+		reg.Counter(p+".posted_writes", "posted SCM writes", sh.m.postedWrites.Load)
+		reg.Counter(p+".stall_cycles", "write-queue stall cycles", sh.m.stallCycles.Load)
+		reg.Gauge(p+".queue_len", "requests waiting in the shard queue", func() float64 {
+			return float64(len(sh.ch))
+		})
+		reg.Gauge(p+".serving", "1 while the shard accepts requests", func() float64 {
+			if sh.failed.Load() {
+				return 0
+			}
+			return 1
+		})
+	}
+	reg.Counter("store.gets", "get requests served, all shards", func() uint64 {
+		return s.sum(func(m *shardMetrics) *atomic.Uint64 { return &m.gets })
+	})
+	reg.Counter("store.puts", "put requests served, all shards", func() uint64 {
+		return s.sum(func(m *shardMetrics) *atomic.Uint64 { return &m.puts })
+	})
+	reg.Counter("store.overloads", "requests rejected by bounded queues", s.overloads.Load)
+	reg.Counter("store.integrity_errors", "integrity violations surfaced to clients", func() uint64 {
+		return s.sum(func(m *shardMetrics) *atomic.Uint64 { return &m.integrityErrs })
+	})
+	reg.Counter("store.batch_items", "requests drained in batches", func() uint64 {
+		return s.sum(func(m *shardMetrics) *atomic.Uint64 { return &m.batchItems })
+	})
+	reg.Counter("store.batches", "worker batch wakeups", func() uint64 {
+		return s.sum(func(m *shardMetrics) *atomic.Uint64 { return &m.batches })
+	})
+	reg.Gauge("store.shards_serving", "shards currently in service", func() float64 {
+		var n float64
+		for _, sh := range s.shards {
+			if !sh.failed.Load() {
+				n++
+			}
+		}
+		return n
+	})
+}
+
+// TotalCycles returns the largest published shard clock — the store's
+// simulated-time high-water mark, used as the sample cycle.
+func (s *Store) TotalCycles() uint64 {
+	var max uint64
+	for _, sh := range s.shards {
+		if c := sh.m.cycles.Load(); c > max {
+			max = c
+		}
+	}
+	return max
+}

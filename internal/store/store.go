@@ -1,0 +1,533 @@
+// Package store is the concurrent serving layer over the functional
+// MEE stack: a key/value store sharded across N independent
+// mee.Controller instances. Each shard's controller, device, and
+// fault injector are owned by exactly one worker goroutine —
+// respecting the Controller single-writer contract — and clients
+// reach a shard only through a bounded request channel, so the store
+// is safe for any number of concurrent callers while the protocol
+// code underneath stays strictly sequential per shard.
+//
+// Keys are uint64, partitioned key % Shards (shard) and key / Shards
+// (block within the shard). One key maps to one 64 B SCM block; the
+// first byte encodes the value length, so values are limited to
+// MaxValueLen bytes and an all-zero (never-written) block reads as
+// ErrNotFound.
+//
+// Admission control: every request either enters its shard's bounded
+// queue immediately or fails with ErrOverloaded — the store never
+// blocks a caller on a full queue. Callers bound their wait for the
+// response with a context deadline; an abandoned request still
+// completes in the worker (responses are buffered), it just has
+// nobody listening.
+//
+// Persist ordering: a Put is acknowledged after the shard's
+// controller has run the full secure-write path (counter bump, MAC,
+// tree update, persist policy). In the functional model queued
+// persists reach the device at issue time (ADR semantics), so an
+// acknowledged Put survives a clean power cycle under every
+// crash-consistent protocol; the chaos path (chaos.go) explores the
+// weaker model where the in-flight persist window can be torn,
+// dropped, or reordered.
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"amnt/internal/faults"
+	"amnt/internal/mee"
+	"amnt/internal/scm"
+)
+
+// MaxValueLen is the largest value a single key can hold: one SCM
+// block minus the length byte.
+const MaxValueLen = scm.BlockSize - 1
+
+// Sentinel errors returned by the Store API.
+var (
+	// ErrOverloaded: the shard's bounded queue is full. Degradation
+	// is explicit — callers retry or shed load; the store never
+	// queues unboundedly.
+	ErrOverloaded = errors.New("store: shard queue full")
+	// ErrNotFound: the key has never been written.
+	ErrNotFound = errors.New("store: key not found")
+	// ErrClosed: the store is shut down.
+	ErrClosed = errors.New("store: closed")
+	// ErrValueTooLarge: the value exceeds MaxValueLen.
+	ErrValueTooLarge = fmt.Errorf("store: value exceeds %d bytes", MaxValueLen)
+	// ErrOutOfRange: the key maps past the shard's capacity.
+	ErrOutOfRange = errors.New("store: key out of range")
+	// ErrShardFailed: the shard's protocol broke its recovery
+	// contract (chaos violation); it no longer serves requests.
+	ErrShardFailed = errors.New("store: shard failed")
+)
+
+// Config sizes the store.
+type Config struct {
+	// Shards is the number of independent controllers. Default 4.
+	Shards int
+	// ShardMemBytes is each shard's SCM data capacity. Default 1 MiB.
+	ShardMemBytes uint64
+	// Protocol is the persistence policy name (mee registry).
+	// Default "leaf".
+	Protocol string
+	// PolicyOptions parameterizes the protocol (subtree level etc.).
+	PolicyOptions mee.PolicyOptions
+	// MEE configures each shard's controller; zero fields take
+	// mee.DefaultConfig values.
+	MEE mee.Config
+	// QueueDepth bounds each shard's request queue. Default 64.
+	QueueDepth int
+	// BatchMax is the most requests a worker drains per wakeup.
+	// Default 16.
+	BatchMax int
+	// CheckpointDir, when set, is where Checkpoint persists shard
+	// images and where Open looks for them; Close writes a final
+	// checkpoint there.
+	CheckpointDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.ShardMemBytes == 0 {
+		c.ShardMemBytes = 1 << 20
+	}
+	if c.Protocol == "" {
+		c.Protocol = "leaf"
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
+	}
+	return c
+}
+
+type opKind int
+
+const (
+	opGet opKind = iota
+	opPut
+	opFlush
+	opCheckpoint
+	opRecover
+	opChaos
+)
+
+type request struct {
+	op    opKind
+	block uint64
+	value []byte // put payload, owned by the request
+	chaos *ChaosSpec
+	resp  chan response // buffered(1): the worker's send never blocks
+}
+
+type response struct {
+	value []byte
+	chaos *ChaosResult
+	err   error
+}
+
+// shard bundles everything one worker goroutine owns.
+type shard struct {
+	id       int
+	dev      *scm.Device
+	ctrl     *mee.Controller
+	inj      *faults.Injector
+	ch       chan request
+	done     chan struct{}
+	blocks   uint64 // data blocks this shard can hold
+	now      uint64 // simulated cycle clock, worker-owned
+	batchMax int
+	ckpt     string // checkpoint path, "" = none
+	failed   atomic.Bool
+	closeErr error // final flush/checkpoint error, read after done
+	m        shardMetrics
+}
+
+// Store is the concurrent front-end. All methods are safe for
+// concurrent use.
+type Store struct {
+	cfg    Config
+	shards []*shard
+
+	mu     sync.RWMutex // guards closed vs. in-flight enqueues
+	closed bool
+
+	overloads atomic.Uint64
+}
+
+// Open builds the store: one device + controller + injector per
+// shard. When cfg.CheckpointDir holds a checkpoint for a shard, the
+// shard boots from it (load, then run the protocol's recovery — the
+// reboot path); otherwise it starts empty. Workers take ownership of
+// their shard when their goroutine starts.
+func Open(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	s := &Store{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range s.shards {
+		policy, err := mee.NewPolicy(cfg.Protocol, cfg.PolicyOptions)
+		if err != nil {
+			return nil, err
+		}
+		dev := scm.New(scm.Config{CapacityBytes: cfg.ShardMemBytes})
+		ctrl := mee.New(dev, cfg.MEE, policy)
+		sh := &shard{
+			id:       i,
+			dev:      dev,
+			ctrl:     ctrl,
+			ch:       make(chan request, cfg.QueueDepth),
+			done:     make(chan struct{}),
+			blocks:   cfg.ShardMemBytes / scm.BlockSize,
+			batchMax: cfg.BatchMax,
+		}
+		if cfg.CheckpointDir != "" {
+			sh.ckpt = filepath.Join(cfg.CheckpointDir, fmt.Sprintf("shard-%03d.ckpt", i))
+			if err := sh.boot(); err != nil {
+				return nil, fmt.Errorf("store: shard %d: %w", i, err)
+			}
+		}
+		sh.inj = faults.NewInjector(ctrl)
+		sh.inj.Attach()
+		s.shards[i] = sh
+	}
+	for _, sh := range s.shards {
+		go sh.run()
+	}
+	return s, nil
+}
+
+// boot loads the shard's checkpoint if one exists and runs the
+// protocol's recovery, the normal reboot path.
+func (sh *shard) boot() error {
+	f, err := os.Open(sh.ckpt)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := sh.ctrl.LoadCheckpoint(f); err != nil {
+		return err
+	}
+	if _, err := sh.ctrl.Recover(sh.now); err != nil {
+		return fmt.Errorf("recovery after checkpoint load: %w", err)
+	}
+	return nil
+}
+
+// Shards returns the shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// shardFor maps a key to its shard and block.
+func (s *Store) shardFor(key uint64) (*shard, uint64) {
+	n := uint64(len(s.shards))
+	return s.shards[key%n], key / n
+}
+
+// submit enqueues req on sh, failing fast with ErrOverloaded on a
+// full queue, then waits for the response or ctx. The closed check
+// and the send share the read lock so Close (which holds the write
+// lock while closing channels) can never race a send onto a closed
+// channel.
+func (s *Store) submit(ctx context.Context, sh *shard, req request) (response, error) {
+	if sh.failed.Load() {
+		return response{}, ErrShardFailed
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return response{}, ErrClosed
+	}
+	select {
+	case sh.ch <- req:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.overloads.Add(1)
+		sh.m.overloads.Add(1)
+		return response{}, ErrOverloaded
+	}
+	select {
+	case resp := <-req.resp:
+		return resp, resp.err
+	case <-ctx.Done():
+		// The worker still serves the request; the buffered response
+		// channel absorbs its send.
+		return response{}, ctx.Err()
+	}
+}
+
+// Get returns the value stored at key.
+func (s *Store) Get(ctx context.Context, key uint64) ([]byte, error) {
+	sh, block := s.shardFor(key)
+	if block >= sh.blocks {
+		return nil, ErrOutOfRange
+	}
+	resp, err := s.submit(ctx, sh, request{op: opGet, block: block, resp: make(chan response, 1)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.value, nil
+}
+
+// Put stores value (at most MaxValueLen bytes) at key.
+func (s *Store) Put(ctx context.Context, key uint64, value []byte) error {
+	if len(value) > MaxValueLen {
+		return ErrValueTooLarge
+	}
+	sh, block := s.shardFor(key)
+	if block >= sh.blocks {
+		return ErrOutOfRange
+	}
+	v := make([]byte, len(value)) // callers may reuse their buffer
+	copy(v, value)
+	_, err := s.submit(ctx, sh, request{op: opPut, block: block, value: v, resp: make(chan response, 1)})
+	return err
+}
+
+// broadcast sends one control op to every shard concurrently and
+// waits for all responses (or ctx). The lowest-numbered failing
+// shard's error wins.
+func (s *Store) broadcast(ctx context.Context, op opKind) error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			_, errs[i] = s.submit(ctx, sh, request{op: op, resp: make(chan response, 1)})
+		}(i, sh)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Flush forces every shard's dirty metadata to SCM (a global persist
+// barrier).
+func (s *Store) Flush(ctx context.Context) error { return s.broadcast(ctx, opFlush) }
+
+// Checkpoint persists every shard's durable image to
+// Config.CheckpointDir. Each shard flushes first, so the checkpoint
+// is self-consistent.
+func (s *Store) Checkpoint(ctx context.Context) error {
+	if s.cfg.CheckpointDir == "" {
+		return errors.New("store: no checkpoint dir configured")
+	}
+	return s.broadcast(ctx, opCheckpoint)
+}
+
+// Recover power-cycles every shard in place: crash (volatile state
+// lost), run the protocol's recovery, and verify the whole shard. A
+// crash-consistent protocol must come back serving every
+// acknowledged write.
+func (s *Store) Recover(ctx context.Context) error { return s.broadcast(ctx, opRecover) }
+
+// RecoverShard power-cycles a single shard.
+func (s *Store) RecoverShard(ctx context.Context, id int) error {
+	if id < 0 || id >= len(s.shards) {
+		return fmt.Errorf("store: no shard %d", id)
+	}
+	_, err := s.submit(ctx, s.shards[id], request{op: opRecover, resp: make(chan response, 1)})
+	return err
+}
+
+// Close drains every shard's queue, flushes, writes a final
+// checkpoint (when a checkpoint dir is configured), and stops the
+// workers. ctx bounds the wait. Idempotent.
+func (s *Store) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh.ch)
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for _, sh := range s.shards {
+		select {
+		case <-sh.done:
+			if sh.closeErr != nil && firstErr == nil {
+				firstErr = fmt.Errorf("shard %d: %w", sh.id, sh.closeErr)
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return firstErr
+}
+
+// --- worker -----------------------------------------------------------
+
+// run is the shard worker: it owns the controller. Requests are
+// drained in batches — one blocking receive, then up to batchMax-1
+// opportunistic ones — so bursty load amortizes the per-wakeup
+// bookkeeping and metrics publication.
+func (sh *shard) run() {
+	defer close(sh.done)
+	batch := make([]request, 0, sh.batchMax)
+	open := true
+	for open {
+		req, ok := <-sh.ch
+		if !ok {
+			break
+		}
+		batch = append(batch[:0], req)
+	fill:
+		for len(batch) < sh.batchMax {
+			select {
+			case r, ok := <-sh.ch:
+				if !ok {
+					open = false
+					break fill
+				}
+				batch = append(batch, r)
+			default:
+				break fill
+			}
+		}
+		for _, r := range batch {
+			r.resp <- sh.serve(r)
+		}
+		sh.m.batches.Add(1)
+		sh.m.batchItems.Add(uint64(len(batch)))
+		sh.publish()
+	}
+	// Shutdown: queue fully drained above; leave a durable image.
+	if !sh.failed.Load() {
+		sh.now += sh.ctrl.Flush(sh.now)
+		if sh.ckpt != "" {
+			sh.closeErr = sh.checkpoint()
+		}
+	}
+	sh.publish()
+}
+
+// serve executes one request against the worker-owned controller.
+func (sh *shard) serve(r request) response {
+	if sh.failed.Load() {
+		return response{err: ErrShardFailed}
+	}
+	switch r.op {
+	case opGet:
+		var blk [scm.BlockSize]byte
+		cycles, err := sh.ctrl.ReadBlock(sh.now, r.block, blk[:])
+		sh.now += cycles
+		sh.m.gets.Add(1)
+		if err != nil {
+			sh.countErr(err)
+			return response{err: err}
+		}
+		n := int(blk[0])
+		if n == 0 {
+			sh.m.misses.Add(1)
+			return response{err: ErrNotFound}
+		}
+		v := make([]byte, n-1)
+		copy(v, blk[1:n])
+		return response{value: v}
+	case opPut:
+		var blk [scm.BlockSize]byte
+		blk[0] = byte(len(r.value) + 1)
+		copy(blk[1:], r.value)
+		cycles, err := sh.ctrl.WriteBlock(sh.now, r.block, blk[:])
+		sh.now += cycles
+		sh.m.puts.Add(1)
+		if err != nil {
+			sh.countErr(err)
+		}
+		return response{err: err}
+	case opFlush:
+		sh.now += sh.ctrl.Flush(sh.now)
+		sh.m.flushes.Add(1)
+		return response{}
+	case opCheckpoint:
+		if err := sh.checkpoint(); err != nil {
+			return response{err: err}
+		}
+		sh.m.checkpoints.Add(1)
+		return response{}
+	case opRecover:
+		return response{err: sh.powerCycle()}
+	case opChaos:
+		res := sh.runChaos(*r.chaos)
+		return response{chaos: res, err: res.startErr}
+	}
+	return response{err: fmt.Errorf("store: unknown op %d", r.op)}
+}
+
+// powerCycle crashes the shard's controller and runs the protocol's
+// recovery plus a whole-shard verify — the clean reboot invariant.
+// The injector is detached across the cycle so recovery traffic does
+// not pollute the fault journal.
+func (sh *shard) powerCycle() error {
+	sh.inj.Detach()
+	sh.ctrl.Crash()
+	if _, err := sh.ctrl.Recover(sh.now); err != nil {
+		sh.fail()
+		return fmt.Errorf("%w: recovery: %v", ErrShardFailed, err)
+	}
+	if err := sh.ctrl.VerifyAll(sh.now); err != nil {
+		sh.fail()
+		return fmt.Errorf("%w: post-recovery verify: %v", ErrShardFailed, err)
+	}
+	sh.m.recoveries.Add(1)
+	sh.inj = faults.NewInjector(sh.ctrl)
+	sh.inj.Attach()
+	return nil
+}
+
+// checkpoint writes the shard's durable image atomically
+// (temp + rename), so a crash mid-checkpoint leaves the previous
+// image intact.
+func (sh *shard) checkpoint() error {
+	if err := os.MkdirAll(filepath.Dir(sh.ckpt), 0o755); err != nil {
+		return err
+	}
+	tmp := sh.ckpt + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := sh.ctrl.SaveCheckpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, sh.ckpt)
+}
+
+func (sh *shard) fail() {
+	sh.failed.Store(true)
+	sh.m.failures.Add(1)
+}
+
+func (sh *shard) countErr(err error) {
+	var ie *mee.IntegrityError
+	if errors.As(err, &ie) {
+		sh.m.integrityErrs.Add(1)
+		return
+	}
+	sh.m.otherErrs.Add(1)
+}
