@@ -56,6 +56,7 @@ func main() {
 		ckptDir    = flag.String("checkpoint-dir", "", "checkpoint directory (empty = no checkpoints)")
 		reqTimeout = flag.Duration("req-timeout", 2*time.Second, "per-request serving deadline")
 		sample     = flag.Duration("sample", 250*time.Millisecond, "telemetry sampling period")
+		recWorkers = flag.Int("recovery-workers", 1, "rebuild worker-pool width for shard recovery (bit-identical results at any width)")
 	)
 	flag.Parse()
 
@@ -67,6 +68,7 @@ func main() {
 		BatchMax:      *batch,
 		CheckpointDir: *ckptDir,
 	}
+	cfg.MEE.RecoveryWorkers = *recWorkers
 	cfg.PolicyOptions.SubtreeLevel = *level
 	st, err := store.Open(cfg)
 	if err != nil {

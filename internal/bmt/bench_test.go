@@ -1,0 +1,144 @@
+package bmt
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"amnt/internal/scm"
+	"amnt/internal/stats"
+)
+
+// -benchjson gates TestWriteRecoveryBench, which measures the rebuild
+// benchmarks via testing.Benchmark and writes the before/after
+// BENCH_recovery.json to the given path.
+var benchJSON = flag.String("benchjson", "", "write rebuild benchmark results (BENCH_recovery.json) to this path")
+
+// benchGeometries are the three leaf counts the benchmarks sweep:
+// 16 MB, 128 MB, and 1 GB of protected data.
+var benchGeometries = []uint64{4096, 32768, 262144}
+
+// benchWorkers are the pool sizes BenchmarkRebuildParallel sweeps.
+var benchWorkers = []int{1, 2, 4, 8}
+
+// newBenchDevice returns a fully-occupied device with the paper's
+// default timing — the worst-case (whole footprint) recovery input.
+func newBenchDevice(leaves uint64) *scm.Device {
+	d := scm.New(scm.Config{CapacityBytes: leaves * 4096})
+	var blk [scm.BlockSize]byte
+	for i := uint64(0); i < leaves; i++ {
+		blk[0] = byte(i)
+		blk[8] = byte(i >> 8)
+		blk[16] = byte(i >> 16)
+		d.Write(scm.Counter, i, blk[:])
+	}
+	return d
+}
+
+func benchRebuild(b *testing.B, leaves uint64, workers int) {
+	g := NewGeometry(leaves)
+	e := eng()
+	d := newBenchDevice(leaves)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RebuildWith(d, e, g, 1, 0, RebuildOptions{Persist: true, Workers: workers})
+	}
+}
+
+func BenchmarkRebuildSerial(b *testing.B) {
+	for _, leaves := range benchGeometries {
+		b.Run(fmt.Sprintf("leaves=%d", leaves), func(b *testing.B) {
+			benchRebuild(b, leaves, 1)
+		})
+	}
+}
+
+func BenchmarkRebuildParallel(b *testing.B) {
+	for _, leaves := range benchGeometries {
+		for _, w := range benchWorkers {
+			b.Run(fmt.Sprintf("leaves=%d/workers=%d", leaves, w), func(b *testing.B) {
+				benchRebuild(b, leaves, w)
+			})
+		}
+	}
+}
+
+// seedBaseline is the seed tree's map-pipeline serial rebuild,
+// measured with this file's exact setup (persist=true, full
+// occupancy, default device timing, -benchtime 10x) at commit 3d040e6
+// — the "before" column of BENCH_recovery.json.
+var seedBaseline = stats.BenchSet{
+	Label: "seed map-pipeline serial rebuild (commit 3d040e6)",
+	Results: []stats.BenchResult{
+		{Name: "BenchmarkRebuildSerial/leaves=4096", N: 10, NsPerOp: 1335619, AllocsPerOp: 737, BytesPerOp: 575460},
+		{Name: "BenchmarkRebuildSerial/leaves=32768", N: 10, NsPerOp: 12844483, AllocsPerOp: 5538, BytesPerOp: 4643720},
+		{Name: "BenchmarkRebuildSerial/leaves=262144", N: 10, NsPerOp: 157134262, AllocsPerOp: 43804, BytesPerOp: 37214264},
+	},
+}
+
+// TestWriteRecoveryBench regenerates BENCH_recovery.json: the fixed
+// seed baseline alongside live measurements of the flat-slice serial
+// and parallel rebuild. Run with
+//
+//	go test ./internal/bmt -run WriteRecoveryBench -benchjson BENCH_recovery.json
+func TestWriteRecoveryBench(t *testing.T) {
+	if *benchJSON == "" {
+		t.Skip("-benchjson not set")
+	}
+	after := stats.BenchSet{Label: "flat-slice rebuild (this tree)"}
+	for _, leaves := range benchGeometries {
+		leaves := leaves
+		r := testing.Benchmark(func(b *testing.B) { benchRebuild(b, leaves, 1) })
+		after.Add(stats.BenchResult{
+			Name:        fmt.Sprintf("BenchmarkRebuildSerial/leaves=%d", leaves),
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: uint64(r.AllocsPerOp()),
+			BytesPerOp:  uint64(r.AllocedBytesPerOp()),
+		})
+		for _, w := range benchWorkers {
+			w := w
+			r := testing.Benchmark(func(b *testing.B) { benchRebuild(b, leaves, w) })
+			after.Add(stats.BenchResult{
+				Name:        fmt.Sprintf("BenchmarkRebuildParallel/leaves=%d/workers=%d", leaves, w),
+				N:           r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: uint64(r.AllocsPerOp()),
+				BytesPerOp:  uint64(r.AllocedBytesPerOp()),
+			})
+		}
+	}
+	t.Logf("baseline:\n%s", seedBaseline.Benchstat())
+	t.Logf("after:\n%s", after.Benchstat())
+	doc := struct {
+		Note     string         `json:"note"`
+		GoOS     string         `json:"goos"`
+		GoArch   string         `json:"goarch"`
+		CPUs     int            `json:"cpus"`
+		Baseline stats.BenchSet `json:"baseline"`
+		After    stats.BenchSet `json:"after"`
+	}{
+		Note: "BMT recovery rebuild, persist=true over a fully occupied counter span; " +
+			"baseline is the seed's per-level map pipeline, after is the flat-slice " +
+			"engine (serial and sharded-parallel)",
+		GoOS:     runtime.GOOS,
+		GoArch:   runtime.GOARCH,
+		CPUs:     runtime.NumCPU(),
+		Baseline: seedBaseline,
+		After:    after,
+	}
+	f, err := os.Create(*benchJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		t.Fatal(err)
+	}
+}

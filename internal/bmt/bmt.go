@@ -17,12 +17,23 @@
 // absent child contributes its level's zero digest, making tree
 // construction and recovery O(occupied footprint) instead of
 // O(memory size).
+//
+// Rebuilds run on a flat, index-sorted pipeline (no per-level maps)
+// and can optionally shard the leaf span across a bounded worker pool
+// (RebuildOptions.Workers): each chunk's subtree is reconstructed
+// independently below a fan-in level and the chunk roots are merged
+// serially above it. Because every RebuildResult field is either pure
+// tree math (Digest, Content) or a sum of fixed per-access constants
+// (Cycles, CounterReads, NodeWrites), the parallel result is
+// bit-identical to the serial one at any worker count.
 package bmt
 
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"amnt/internal/cme"
 	"amnt/internal/scm"
@@ -175,11 +186,32 @@ func Hash(e *cme.Engine, level int, content []byte) uint64 {
 	return e.NodeHash(level, 0, content)
 }
 
+// zeroKey identifies one zero-digest table: the hash backend, the
+// device key, and the tree depth fully determine every entry (zero
+// digests do not depend on the leaf count, only on Levels).
+type zeroKey struct {
+	hasher string
+	key    uint64
+	levels int
+}
+
+// zeroCache memoizes zero-digest tables across rebuilds and
+// controllers. Values are []uint64 slices shared by all callers.
+var zeroCache sync.Map
+
 // ZeroDigests returns the digest of an all-zero subtree rooted at each
 // level, indexed by level (entry 0 unused). zero[Levels] is the digest
 // of a zeroed counter block; zero[l] is the digest of a node whose
 // eight children are all-zero subtrees at level l+1.
+//
+// The returned slice is cached and shared between callers (rebuilds
+// run it on every invocation, so recomputing it per call would
+// dominate small recoveries): treat it as read-only.
 func ZeroDigests(e *cme.Engine, g Geometry) []uint64 {
+	k := zeroKey{hasher: e.Hasher().Name(), key: e.Key(), levels: g.Levels}
+	if v, ok := zeroCache.Load(k); ok {
+		return v.([]uint64)
+	}
 	zero := make([]uint64, g.Levels+1)
 	var leaf [scm.BlockSize]byte
 	zero[g.Levels] = Hash(e, g.Levels, leaf[:])
@@ -190,7 +222,8 @@ func ZeroDigests(e *cme.Engine, g Geometry) []uint64 {
 		}
 		zero[l] = Hash(e, l, node[:])
 	}
-	return zero
+	v, _ := zeroCache.LoadOrStore(k, zero)
+	return v.([]uint64)
 }
 
 // ZeroNode returns the content of an all-zero-children node at the
@@ -218,84 +251,31 @@ type RebuildResult struct {
 	Cycles uint64
 }
 
-// RebuildAbove recomputes tree levels [2, boundary) from the nodes
-// persisted at the boundary level, as Triad-NVM-style recovery does:
-// when the bottom of the tree is write-through, only the levels above
-// the persisted boundary are stale, and they derive from the boundary
-// nodes without touching the (much larger) counter level. Recomputed
-// nodes are written back when persist is set; the result carries the
-// level-1 content for comparison against the root register.
-func RebuildAbove(dev *scm.Device, e *cme.Engine, g Geometry, boundary int, persist bool) RebuildResult {
-	var res RebuildResult
-	zero := ZeroDigests(e, g)
-	if boundary <= 2 {
-		// Nothing above the boundary is stored off-chip; the root
-		// register itself is the only level-1 state.
-		res.Digest = zero[1]
-		return res
-	}
-	if boundary > g.Levels {
-		boundary = g.Levels
-	}
-	// Digests of occupied boundary nodes, from the device.
-	curr := make(map[uint64]uint64)
-	var buf [scm.BlockSize]byte
-	if boundary == g.Levels {
-		for _, li := range dev.Indices(scm.Counter) {
-			res.Cycles += dev.Read(scm.Counter, li, buf[:])
-			res.CounterReads++
-			curr[li] = Hash(e, g.Levels, buf[:])
-		}
-	} else {
-		lo := g.FlatIndex(boundary, 0)
-		hi := lo + capacityAt(boundary)
-		for _, flat := range dev.Indices(scm.Tree) {
-			if flat < lo || flat >= hi {
-				continue
-			}
-			res.Cycles += dev.Read(scm.Tree, flat, buf[:])
-			res.CounterReads++ // boundary-node reads; see report fields
-			curr[flat-lo] = Hash(e, boundary, buf[:])
-		}
-	}
-	level := boundary
-	for level > 1 {
-		next := make(map[uint64][NodeSize]byte)
-		for idx := range curr {
-			parent := idx >> arityShift
-			node, ok := next[parent]
-			if !ok {
-				for slot := 0; slot < Arity; slot++ {
-					SetChildDigest(node[:], slot, zero[level])
-				}
-			}
-			SetChildDigest(node[:], ChildSlot(idx), curr[idx])
-			next[parent] = node
-		}
-		level--
-		curr = make(map[uint64]uint64, len(next))
-		for idx, node := range next {
-			curr[idx] = Hash(e, level, node[:])
-			if persist && level >= 2 && level <= g.Levels-1 {
-				res.Cycles += dev.Write(scm.Tree, g.FlatIndex(level, idx), node[:])
-				res.NodeWrites++
-			}
-			if level == 1 && idx == 0 {
-				res.Content = node
-			}
-		}
-	}
-	if d, ok := curr[0]; ok {
-		res.Digest = d
-	} else {
-		res.Digest = zero[1]
-		var node [NodeSize]byte
-		for slot := 0; slot < Arity; slot++ {
-			SetChildDigest(node[:], slot, zero[2])
-		}
-		res.Content = node
-	}
-	return res
+// RebuildOptions selects how a rebuild runs. The zero value is a
+// serial, non-persisting rebuild.
+type RebuildOptions struct {
+	// Persist writes every recomputed inner node (levels 2..Levels-1)
+	// back to the device Tree region.
+	Persist bool
+	// Workers bounds the rebuild worker pool; 0 or 1 runs serially.
+	// Any value yields a bit-identical RebuildResult and identical
+	// device statistics — only wall-clock time changes.
+	Workers int
+}
+
+// parallelMinSource is the minimum number of occupied source nodes
+// below which a parallel rebuild falls back to the serial path. Kept
+// tiny so the pool engages (and stays testable) on small trees; the
+// pool's fixed cost is negligible against even one device access.
+const parallelMinSource = 2
+
+// source describes where a rebuild's bottom level lives on the
+// device: tree level, device region, and the region offset of the
+// level's node 0 (non-zero only for Tree-region boundary levels).
+type source struct {
+	level   int
+	region  scm.Region
+	flatOff uint64
 }
 
 // Rebuild recomputes the subtree rooted at (rootLevel, rootIdx) from
@@ -308,66 +288,276 @@ func RebuildAbove(dev *scm.Device, e *cme.Engine, g Geometry, boundary int, pers
 // precomputed zero digests. The caller compares Result.Digest (or
 // Content) against its trusted register.
 func Rebuild(dev *scm.Device, e *cme.Engine, g Geometry, rootLevel int, rootIdx uint64, persist bool) RebuildResult {
-	var res RebuildResult
-	zero := ZeroDigests(e, g)
+	return RebuildWith(dev, e, g, rootLevel, rootIdx, RebuildOptions{Persist: persist})
+}
+
+// RebuildWith is Rebuild with explicit options (parallelism).
+func RebuildWith(dev *scm.Device, e *cme.Engine, g Geometry, rootLevel int, rootIdx uint64, opts RebuildOptions) RebuildResult {
 	lo, hi := g.LeafSpan(rootLevel, rootIdx)
-
-	// Digests at the current level, keyed by node index. Start from
-	// occupied leaves within the subtree's span.
-	curr := make(map[uint64]uint64)
-	var buf [scm.BlockSize]byte
-	leaves := dev.Indices(scm.Counter)
-	sort.Slice(leaves, func(i, j int) bool { return leaves[i] < leaves[j] })
-	for _, li := range leaves {
-		if li < lo || li >= hi {
-			continue
-		}
-		res.Cycles += dev.Read(scm.Counter, li, buf[:])
-		res.CounterReads++
-		curr[li] = Hash(e, g.Levels, buf[:])
-	}
-
-	level := g.Levels
-	for level > rootLevel {
-		next := make(map[uint64][NodeSize]byte)
-		for idx := range curr {
-			parent := idx >> arityShift
-			node, ok := next[parent]
-			if !ok {
-				for slot := 0; slot < Arity; slot++ {
-					SetChildDigest(node[:], slot, zero[level])
-				}
-			}
-			SetChildDigest(node[:], ChildSlot(idx), curr[idx])
-			next[parent] = node
-		}
-		level--
-		curr = make(map[uint64]uint64, len(next))
-		for idx, node := range next {
-			curr[idx] = Hash(e, level, node[:])
-			if persist && level >= 2 && level <= g.Levels-1 {
-				res.Cycles += dev.Write(scm.Tree, g.FlatIndex(level, idx), node[:])
-				res.NodeWrites++
-			}
-			if level == rootLevel && idx == rootIdx {
-				res.Content = node
-			}
+	idxs := dev.Indices(scm.Counter)
+	n := 0
+	for _, li := range idxs {
+		if li >= lo && li < hi {
+			idxs[n] = li
+			n++
 		}
 	}
+	idxs = idxs[:n]
+	slices.Sort(idxs)
+	return rebuildFrom(dev, e, g, source{level: g.Levels, region: scm.Counter}, idxs, rootLevel, rootIdx, opts)
+}
 
-	if d, ok := curr[rootIdx]; ok {
-		res.Digest = d
+// RebuildAbove recomputes tree levels [2, boundary) from the nodes
+// persisted at the boundary level, as Triad-NVM-style recovery does:
+// when the bottom of the tree is write-through, only the levels above
+// the persisted boundary are stale, and they derive from the boundary
+// nodes without touching the (much larger) counter level. Recomputed
+// nodes are written back when persist is set; the result carries the
+// level-1 content for comparison against the root register.
+func RebuildAbove(dev *scm.Device, e *cme.Engine, g Geometry, boundary int, persist bool) RebuildResult {
+	return RebuildAboveWith(dev, e, g, boundary, RebuildOptions{Persist: persist})
+}
+
+// RebuildAboveWith is RebuildAbove with explicit options
+// (parallelism).
+func RebuildAboveWith(dev *scm.Device, e *cme.Engine, g Geometry, boundary int, opts RebuildOptions) RebuildResult {
+	if boundary <= 2 {
+		// Nothing above the boundary is stored off-chip; the root
+		// register itself is the only level-1 state.
+		return RebuildResult{Digest: ZeroDigests(e, g)[1]}
+	}
+	if boundary > g.Levels {
+		boundary = g.Levels
+	}
+	var src source
+	var idxs []uint64
+	if boundary == g.Levels {
+		src = source{level: boundary, region: scm.Counter}
+		idxs = dev.Indices(scm.Counter)
 	} else {
-		// The subtree is entirely unoccupied: its root is the zero
-		// node for this level.
-		res.Digest = zero[rootLevel]
-		if rootLevel < g.Levels {
-			var node [NodeSize]byte
-			for slot := 0; slot < Arity; slot++ {
-				SetChildDigest(node[:], slot, zero[rootLevel+1])
+		off := g.FlatIndex(boundary, 0)
+		end := off + capacityAt(boundary)
+		src = source{level: boundary, region: scm.Tree, flatOff: off}
+		flats := dev.Indices(scm.Tree)
+		for _, flat := range flats {
+			if flat >= off && flat < end {
+				idxs = append(idxs, flat-off)
 			}
-			res.Content = node
 		}
 	}
+	slices.Sort(idxs)
+	return rebuildFrom(dev, e, g, src, idxs, 1, 0, opts)
+}
+
+// rebuildFrom reconstructs levels [rootLevel, src.level] from the
+// sorted occupied source-node indices idxs, dispatching to the
+// parallel engine when the options ask for it.
+func rebuildFrom(dev *scm.Device, e *cme.Engine, g Geometry, src source, idxs []uint64, rootLevel int, rootIdx uint64, opts RebuildOptions) RebuildResult {
+	zero := ZeroDigests(e, g)
+	if opts.Workers > 1 && src.level > rootLevel && len(idxs) >= parallelMinSource {
+		return rebuildParallel(dev, e, g, zero, src, idxs, rootLevel, rootIdx, opts)
+	}
+
+	var res RebuildResult
+	digs := make([]uint64, len(idxs))
+	var buf [scm.BlockSize]byte
+	for i, idx := range idxs {
+		res.Cycles += dev.Read(src.region, src.flatOff+idx, buf[:])
+		res.CounterReads++
+		digs[i] = Hash(e, src.level, buf[:])
+	}
+	idxs, digs = climb(e, g, zero, src.level, rootLevel, idxs, digs,
+		persistEmitter(dev, g, rootLevel, rootIdx, opts.Persist, &res))
+	finish(zero, g, rootLevel, idxs, digs, rootIdx, &res)
+	return res
+}
+
+// persistEmitter returns the node sink of the serial (and merge)
+// climb: write recomputed inner nodes through when persisting, and
+// capture the rebuild root's content.
+func persistEmitter(dev *scm.Device, g Geometry, rootLevel int, rootIdx uint64, persist bool, res *RebuildResult) func(level int, idx uint64, node *[NodeSize]byte) {
+	return func(level int, idx uint64, node *[NodeSize]byte) {
+		if persist && level >= 2 && level <= g.Levels-1 {
+			res.Cycles += dev.Write(scm.Tree, g.FlatIndex(level, idx), node[:])
+			res.NodeWrites++
+		}
+		if level == rootLevel && idx == rootIdx {
+			res.Content = *node
+		}
+	}
+}
+
+// climb folds index-sorted (idx, digest) pairs at level from upward
+// to level to, one level at a time: consecutive runs sharing a parent
+// are gathered into a node buffer seeded with the child level's zero
+// digest, hashed, and emitted. Output pairs stay sorted, so the two
+// scratch slices ping-pong across levels and the whole climb performs
+// a constant number of allocations. emit sees every computed node
+// (levels to..from-1).
+func climb(e *cme.Engine, g Geometry, zero []uint64, from, to int, idxs, digs []uint64, emit func(level int, idx uint64, node *[NodeSize]byte)) ([]uint64, []uint64) {
+	if from <= to || len(idxs) == 0 {
+		return idxs, digs
+	}
+	var node [NodeSize]byte
+	nIdx := make([]uint64, 0, (len(idxs)+Arity-1)/Arity)
+	nDig := make([]uint64, 0, cap(nIdx))
+	for level := from; level > to; level-- {
+		nIdx, nDig = nIdx[:0], nDig[:0]
+		for i := 0; i < len(idxs); {
+			parent := idxs[i] >> arityShift
+			for slot := 0; slot < Arity; slot++ {
+				SetChildDigest(node[:], slot, zero[level])
+			}
+			for ; i < len(idxs) && idxs[i]>>arityShift == parent; i++ {
+				SetChildDigest(node[:], ChildSlot(idxs[i]), digs[i])
+			}
+			nIdx = append(nIdx, parent)
+			nDig = append(nDig, Hash(e, level-1, node[:]))
+			emit(level-1, parent, &node)
+		}
+		idxs, digs, nIdx, nDig = nIdx, nDig, idxs, digs
+	}
+	return idxs, digs
+}
+
+// finish resolves the rebuild root digest from the climbed pairs, or
+// synthesizes the zero-subtree result when the span was unoccupied.
+func finish(zero []uint64, g Geometry, rootLevel int, idxs, digs []uint64, rootIdx uint64, res *RebuildResult) {
+	for i, idx := range idxs {
+		if idx == rootIdx {
+			res.Digest = digs[i]
+			return
+		}
+	}
+	// The subtree is entirely unoccupied: its root is the zero node
+	// for this level.
+	res.Digest = zero[rootLevel]
+	if rootLevel < g.Levels {
+		var node [NodeSize]byte
+		for slot := 0; slot < Arity; slot++ {
+			SetChildDigest(node[:], slot, zero[rootLevel+1])
+		}
+		res.Content = node
+	}
+}
+
+// pendingNode is one inner node a chunk worker computed, buffered for
+// the serial apply phase (device writes stay single-threaded).
+type pendingNode struct {
+	level int
+	idx   uint64
+	node  [NodeSize]byte
+}
+
+// chunkOut is one chunk's contribution: the digest of its fan-in node
+// and the inner nodes to persist beneath it.
+type chunkOut struct {
+	digest uint64
+	pend   []pendingNode
+}
+
+// fanInLevel picks the level whose nodes partition the rebuild into
+// chunks: the shallowest level below rootLevel with at least
+// 4×workers potential chunks (oversubscription smooths uneven
+// occupancy), clamped to the source level.
+func fanInLevel(rootLevel, srcLevel, workers int) int {
+	b := rootLevel
+	chunks := 1
+	for b < srcLevel && chunks < 4*workers {
+		b++
+		chunks *= Arity
+	}
+	return b
+}
+
+// rebuildParallel shards the sorted source span by fan-in ancestor,
+// rebuilds each chunk's subtree on a bounded worker pool, then
+// serially applies the buffered node writes and merges the chunk
+// roots up to the rebuild root.
+//
+// Workers touch the device only through scm.PeekInto (read-only, no
+// statistics), which is safe to call concurrently while nothing
+// mutates the device; all writes and statistics happen on the calling
+// goroutine afterwards, via scm.AccountReads and ordinary Writes, so
+// device counters and the RebuildResult match the serial path bit for
+// bit.
+func rebuildParallel(dev *scm.Device, e *cme.Engine, g Geometry, zero []uint64, src source, idxs []uint64, rootLevel int, rootIdx uint64, opts RebuildOptions) RebuildResult {
+	fanIn := fanInLevel(rootLevel, src.level, opts.Workers)
+	shift := uint(arityShift * (src.level - fanIn))
+
+	// Partition the sorted span into per-chunk subslices: one task per
+	// occupied fan-in ancestor.
+	type chunkTask struct {
+		fanIdx uint64
+		idxs   []uint64
+	}
+	var tasks []chunkTask
+	for i := 0; i < len(idxs); {
+		fanIdx := idxs[i] >> shift
+		j := i + 1
+		for j < len(idxs) && idxs[j]>>shift == fanIdx {
+			j++
+		}
+		tasks = append(tasks, chunkTask{fanIdx: fanIdx, idxs: idxs[i:j]})
+		i = j
+	}
+
+	outs := make([]chunkOut, len(tasks))
+	workers := opts.Workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var nextTask atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf [scm.BlockSize]byte
+			for {
+				t := int(nextTask.Add(1) - 1)
+				if t >= len(tasks) {
+					return
+				}
+				task := tasks[t]
+				cIdxs := slices.Clone(task.idxs)
+				cDigs := make([]uint64, len(cIdxs))
+				for i, idx := range cIdxs {
+					dev.PeekInto(src.region, src.flatOff+idx, buf[:])
+					cDigs[i] = Hash(e, src.level, buf[:])
+				}
+				out := &outs[t]
+				_, cDigs = climb(e, g, zero, src.level, fanIn, cIdxs, cDigs,
+					func(level int, idx uint64, node *[NodeSize]byte) {
+						if opts.Persist && level >= 2 && level <= g.Levels-1 {
+							out.pend = append(out.pend, pendingNode{level: level, idx: idx, node: *node})
+						}
+					})
+				out.digest = cDigs[0] // the chunk folds to a single fan-in pair
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Serial epilogue: account the reads the workers performed, apply
+	// their buffered node writes in chunk order, then merge the chunk
+	// roots up to the rebuild root.
+	var res RebuildResult
+	res.CounterReads = uint64(len(idxs))
+	res.Cycles += dev.AccountReads(src.region, uint64(len(idxs)))
+	emit := persistEmitter(dev, g, rootLevel, rootIdx, opts.Persist, &res)
+	mIdx := make([]uint64, len(tasks))
+	mDig := make([]uint64, len(tasks))
+	for t := range tasks {
+		for i := range outs[t].pend {
+			p := &outs[t].pend[i]
+			res.Cycles += dev.Write(scm.Tree, g.FlatIndex(p.level, p.idx), p.node[:])
+			res.NodeWrites++
+		}
+		mIdx[t] = tasks[t].fanIdx
+		mDig[t] = outs[t].digest
+	}
+	mIdx, mDig = climb(e, g, zero, fanIn, rootLevel, mIdx, mDig, emit)
+	finish(zero, g, rootLevel, mIdx, mDig, rootIdx, &res)
 	return res
 }

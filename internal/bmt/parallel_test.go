@@ -1,0 +1,222 @@
+package bmt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"amnt/internal/cme"
+	"amnt/internal/scm"
+)
+
+func cmeEngineWithKey(key uint64) *cme.Engine { return cme.NewEngine(cme.Fast{}, key) }
+
+// workerCounts are the pool sizes every equivalence test sweeps.
+var workerCounts = []int{1, 2, 4, 8}
+
+// devStats snapshots the device counters a rebuild can touch.
+type devStats struct {
+	reads, writes, counterReads, treeReads, treeWrites uint64
+}
+
+func snapshotStats(d *scm.Device) devStats {
+	st := d.Stats()
+	return devStats{
+		reads:        st.Reads.Value(),
+		writes:       st.Writes.Value(),
+		counterReads: st.RegionReads[scm.Counter].Value(),
+		treeReads:    st.RegionReads[scm.Tree].Value(),
+		treeWrites:   st.RegionWrites[scm.Tree].Value(),
+	}
+}
+
+// populate writes the given counter indices with index-derived
+// contents, so equal index sets produce equal devices.
+func populate(d *scm.Device, idxs []uint64) {
+	var blk [scm.BlockSize]byte
+	for _, idx := range idxs {
+		for i := range blk {
+			blk[i] = byte(idx + uint64(i)*3)
+		}
+		blk[0] = byte(idx)
+		blk[1] = byte(idx >> 8)
+		d.Write(scm.Counter, idx, blk[:])
+	}
+}
+
+// TestRebuildAboveDeterministic pins the satellite fix: RebuildAbove
+// used to walk dev.Indices unsorted, so repeated runs over identical
+// devices could write nodes in different orders. Every run over an
+// identically-populated device must now return a bit-identical
+// RebuildResult, for both Rebuild and RebuildAbove.
+func TestRebuildAboveDeterministic(t *testing.T) {
+	const leaves = 1 << 12
+	g := NewGeometry(leaves)
+	e := eng()
+	rng := rand.New(rand.NewSource(42))
+	idxs := make([]uint64, 0, 200)
+	for i := 0; i < 200; i++ {
+		idxs = append(idxs, rng.Uint64()%leaves)
+	}
+	run := func(boundary int) (RebuildResult, RebuildResult) {
+		d := dev(leaves * 4096)
+		populate(d, idxs)
+		full := Rebuild(d, e, g, 1, 0, true)
+		above := RebuildAbove(d, e, g, boundary, true)
+		return full, above
+	}
+	for _, boundary := range []int{3, g.Levels} {
+		firstFull, firstAbove := run(boundary)
+		for i := 0; i < 5; i++ {
+			full, above := run(boundary)
+			if full != firstFull {
+				t.Fatalf("Rebuild run %d diverged: %+v vs %+v", i, full, firstFull)
+			}
+			if above != firstAbove {
+				t.Fatalf("RebuildAbove(boundary=%d) run %d diverged: %+v vs %+v",
+					boundary, i, above, firstAbove)
+			}
+		}
+	}
+}
+
+// TestRebuildAboveSortedMatchesFull cross-checks the sorted boundary
+// walk: rebuilding above the leaf boundary must reproduce the full
+// rebuild's root digest.
+func TestRebuildAboveSortedMatchesFull(t *testing.T) {
+	const leaves = 1 << 9
+	g := NewGeometry(leaves)
+	e := eng()
+	d := dev(leaves * 4096)
+	populate(d, []uint64{0, 3, 17, 63, 64, 200, 511})
+	full := Rebuild(d, e, g, 1, 0, true)
+	above := RebuildAbove(d, e, g, g.Levels, false)
+	if above.Digest != full.Digest || above.Content != full.Content {
+		t.Fatalf("RebuildAbove root %x != full rebuild root %x", above.Digest, full.Digest)
+	}
+}
+
+// TestRebuildParallelMatchesSerial verifies the tentpole contract on
+// fixed occupancy shapes: every worker count yields the serial
+// RebuildResult bit for bit, and leaves the device with identical
+// statistics and stored bytes.
+func TestRebuildParallelMatchesSerial(t *testing.T) {
+	shapes := map[string][]uint64{
+		"dense-prefix": {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+		"sparse":       {0, 511, 1023, 2047, 4095},
+		"one-chunk":    {64, 65, 66, 67},
+		"single":       {1234},
+		"ends":         {0, 4095},
+	}
+	const leaves = 1 << 12
+	g := NewGeometry(leaves)
+	e := eng()
+	for name, occ := range shapes {
+		for _, persist := range []bool{false, true} {
+			ds := dev(leaves * 4096)
+			populate(ds, occ)
+			serial := RebuildWith(ds, e, g, 1, 0, RebuildOptions{Persist: persist, Workers: 1})
+			wantStats := snapshotStats(ds)
+			for _, w := range workerCounts {
+				dp := dev(leaves * 4096)
+				populate(dp, occ)
+				par := RebuildWith(dp, e, g, 1, 0, RebuildOptions{Persist: persist, Workers: w})
+				if par != serial {
+					t.Fatalf("%s persist=%v workers=%d: %+v != serial %+v", name, persist, w, par, serial)
+				}
+				if got := snapshotStats(dp); got != wantStats {
+					t.Fatalf("%s persist=%v workers=%d: device stats %+v != serial %+v", name, persist, w, got, wantStats)
+				}
+				for _, flat := range dp.Indices(scm.Tree) {
+					want := ds.Peek(scm.Tree, flat)
+					got := dp.Peek(scm.Tree, flat)
+					if string(want) != string(got) {
+						t.Fatalf("%s workers=%d: tree node %d bytes differ", name, w, flat)
+					}
+				}
+				if len(dp.Indices(scm.Tree)) != len(ds.Indices(scm.Tree)) {
+					t.Fatalf("%s workers=%d: tree footprint differs", name, w)
+				}
+			}
+		}
+	}
+}
+
+// TestRebuildEquivalenceProperty is the randomized tentpole check,
+// designed to run under -race: random occupancy patterns cut at
+// random crash points must yield identical digests, contents, and
+// cycle counts at every worker count — for whole-tree rebuilds,
+// random subtree rebuilds, and boundary rebuilds at random levels.
+func TestRebuildEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xAB5E))
+	rounds := 24
+	if testing.Short() {
+		rounds = 6
+	}
+	for round := 0; round < rounds; round++ {
+		leaves := uint64(1) << (6 + rng.Intn(7)) // 64 .. 4096 leaves
+		g := NewGeometry(leaves)
+		e := eng()
+
+		// A random write sequence truncated at a random crash point:
+		// the surviving prefix is the occupancy recovery sees.
+		seq := make([]uint64, 1+rng.Intn(300))
+		for i := range seq {
+			seq[i] = rng.Uint64() % leaves
+		}
+		crash := rng.Intn(len(seq)) + 1
+		occ := seq[:crash]
+
+		rootLevel, rootIdx := 1, uint64(0)
+		if rng.Intn(2) == 0 && g.Levels > 2 {
+			rootLevel = 2 + rng.Intn(g.Levels-2)
+			rootIdx = rng.Uint64() % capacityAt(rootLevel)
+		}
+		boundary := 2 + rng.Intn(g.Levels-1)
+		persist := rng.Intn(2) == 0
+
+		ds := dev(leaves * 4096)
+		populate(ds, occ)
+		serial := RebuildWith(ds, e, g, rootLevel, rootIdx, RebuildOptions{Persist: persist, Workers: 1})
+		serialAbove := RebuildAboveWith(ds, e, g, boundary, RebuildOptions{Persist: persist, Workers: 1})
+		wantStats := snapshotStats(ds)
+
+		for _, w := range workerCounts[1:] {
+			dp := dev(leaves * 4096)
+			populate(dp, occ)
+			par := RebuildWith(dp, e, g, rootLevel, rootIdx, RebuildOptions{Persist: persist, Workers: w})
+			parAbove := RebuildAboveWith(dp, e, g, boundary, RebuildOptions{Persist: persist, Workers: w})
+			ctx := fmt.Sprintf("round %d leaves=%d occ=%d root=(%d,%d) boundary=%d persist=%v workers=%d",
+				round, leaves, len(occ), rootLevel, rootIdx, boundary, persist, w)
+			if par != serial {
+				t.Fatalf("%s: Rebuild %+v != serial %+v", ctx, par, serial)
+			}
+			if parAbove != serialAbove {
+				t.Fatalf("%s: RebuildAbove %+v != serial %+v", ctx, parAbove, serialAbove)
+			}
+			if got := snapshotStats(dp); got != wantStats {
+				t.Fatalf("%s: device stats %+v != serial %+v", ctx, got, wantStats)
+			}
+		}
+	}
+}
+
+// TestZeroDigestsCached pins the cache: same engine parameters and
+// depth share one table; different keys get distinct tables.
+func TestZeroDigestsCached(t *testing.T) {
+	g := NewGeometry(512)
+	e := eng()
+	a := ZeroDigests(e, g)
+	b := ZeroDigests(e, g)
+	if &a[0] != &b[0] {
+		t.Fatal("ZeroDigests did not return the cached table")
+	}
+	g2 := NewGeometry(300) // same depth, different leaf count
+	if c := ZeroDigests(e, g2); &c[0] != &a[0] {
+		t.Fatal("ZeroDigests should key on depth, not leaf count")
+	}
+	e2 := cmeEngineWithKey(0xDEAD)
+	if d := ZeroDigests(e2, g); d[1] == a[1] {
+		t.Fatal("different keys must produce different zero digests")
+	}
+}

@@ -376,7 +376,7 @@ func (a *AMNT) Recover(now uint64) (mee.RecoveryReport, error) {
 		// register is the subtree register.
 		a.subContent = c.Root()
 	}
-	res := bmt.Rebuild(dev, c.Engine(), g, a.level, a.subIdx, true)
+	res := bmt.RebuildWith(dev, c.Engine(), g, a.level, a.subIdx, c.RebuildOptions(true))
 	rep.CounterReads = res.CounterReads
 	rep.NodeWrites = res.NodeWrites
 	rep.Cycles = res.Cycles

@@ -310,7 +310,7 @@ func (m *Multi) Recover(now uint64) (mee.RecoveryReport, error) {
 		StaleFraction: float64(m.k) / regions,
 	}
 	for i := range m.regs {
-		res := bmt.Rebuild(dev, c.Engine(), g, m.level, m.regs[i].idx, true)
+		res := bmt.RebuildWith(dev, c.Engine(), g, m.level, m.regs[i].idx, c.RebuildOptions(true))
 		rep.CounterReads += res.CounterReads
 		rep.NodeWrites += res.NodeWrites
 		rep.Cycles += res.Cycles
@@ -325,7 +325,7 @@ func (m *Multi) Recover(now uint64) (mee.RecoveryReport, error) {
 	// Everything at the subtree level is now current in the device
 	// (fast roots just written, the rest strictly persisted); rebuild
 	// the shared levels above in one pass.
-	res := bmt.RebuildAbove(dev, c.Engine(), g, m.level, true)
+	res := bmt.RebuildAboveWith(dev, c.Engine(), g, m.level, c.RebuildOptions(true))
 	rep.NodeWrites += res.NodeWrites
 	rep.Cycles += res.Cycles
 	if m.level > 2 {

@@ -176,7 +176,7 @@ func (a *Anubis) Recover(now uint64) (RecoveryReport, error) {
 		rep.NodeWrites++
 	}
 	// The tree is now current in SCM; validate against the NV root.
-	res := bmt.Rebuild(dev, c.Engine(), g, 1, 0, false)
+	res := bmt.RebuildWith(dev, c.Engine(), g, 1, 0, c.RebuildOptions(false))
 	if res.Content != c.Root() {
 		return rep, &IntegrityError{What: "anubis recovery root mismatch", Addr: 0}
 	}

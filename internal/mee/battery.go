@@ -52,7 +52,7 @@ func (b *Battery) FlushedBlocks() uint64 { return b.flushed }
 // recovery only validates, like strict persistence.
 func (b *Battery) Recover(uint64) (RecoveryReport, error) {
 	c := b.ctrl
-	res := bmt.Rebuild(c.Device(), c.Engine(), c.Geometry(), 1, 0, false)
+	res := bmt.RebuildWith(c.Device(), c.Engine(), c.Geometry(), 1, 0, c.RebuildOptions(false))
 	rep := RecoveryReport{Protocol: b.Name(), StaleFraction: 0}
 	if res.Content != c.Root() {
 		return rep, &IntegrityError{What: "battery recovery root mismatch", Addr: 0}

@@ -23,6 +23,7 @@ package mee
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"amnt/internal/bmt"
 	"amnt/internal/cache"
@@ -66,6 +67,11 @@ type Config struct {
 	Hasher cme.Hasher
 	// Key is the device encryption key.
 	Key uint64
+	// RecoveryWorkers bounds the worker pool of the parallel BMT
+	// rebuild used by policy recovery (0 or 1 = serial). Recovery
+	// results and all simulated statistics are bit-identical at any
+	// setting; only host wall-clock time changes.
+	RecoveryWorkers int
 }
 
 // DefaultConfig returns the paper's secure-memory configuration.
@@ -217,6 +223,11 @@ type Stats struct {
 	Overflows    stats.Counter // minor-counter overflows (page re-encryption)
 	VerifyHashes stats.Counter // tree/MAC hash computations
 	PolicyCycles stats.Counter // cycles charged by policy hooks
+	// Recoveries counts completed Recover calls; RecoveryCycles sums
+	// their simulated device time. Both are deterministic (host
+	// wall-clock recovery time is exposed via telemetry only).
+	Recoveries     stats.Counter
+	RecoveryCycles stats.Counter
 }
 
 // Controller is the secure memory controller.
@@ -260,6 +271,10 @@ type Controller struct {
 	// runs, so an overlapping call from another goroutine panics
 	// (ErrConcurrentUse) instead of racing on controller state.
 	busy atomic.Int32
+	// recoveryWallNs accumulates the host wall-clock time spent inside
+	// Recover. Atomic because the telemetry HTTP server reads it
+	// concurrently; never folded into simulated results.
+	recoveryWallNs atomic.Uint64
 }
 
 // enter claims the controller for one top-level operation; exit
@@ -334,6 +349,25 @@ func (c *Controller) Stats() *Stats { return &c.st }
 
 // Config returns the controller configuration (with defaults applied).
 func (c *Controller) Config() Config { return c.cfg }
+
+// RecoveryWorkers returns the rebuild parallelism recovery runs with,
+// clamped to at least 1.
+func (c *Controller) RecoveryWorkers() int {
+	if c.cfg.RecoveryWorkers < 1 {
+		return 1
+	}
+	return c.cfg.RecoveryWorkers
+}
+
+// RebuildOptions returns the bmt options policy recovery paths use:
+// the configured worker pool with the caller's persist choice.
+func (c *Controller) RebuildOptions(persist bool) bmt.RebuildOptions {
+	return bmt.RebuildOptions{Persist: persist, Workers: c.RecoveryWorkers()}
+}
+
+// RecoveryWallNs returns the cumulative host wall-clock nanoseconds
+// spent inside Recover (telemetry only; not part of simulated time).
+func (c *Controller) RecoveryWallNs() uint64 { return c.recoveryWallNs.Load() }
 
 // SetTracer installs (or, with nil, removes) a protocol event trace
 // sink. The simulator sets this when telemetry is enabled.
@@ -615,6 +649,12 @@ func (c *Controller) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+".verify_hashes", "tree/MAC hash computations", c.st.VerifyHashes.Value)
 	reg.Counter(prefix+".policy_cycles", "cycles charged by policy hooks", c.st.PolicyCycles.Value)
 	reg.Counter(prefix+".merged_writes", "posted writes coalesced in the write queue", c.MergedWrites)
+	reg.Counter(prefix+".recoveries", "completed crash recoveries", c.st.Recoveries.Value)
+	reg.Counter(prefix+".recovery_cycles", "simulated device cycles spent recovering", c.st.RecoveryCycles.Value)
+	reg.Counter(prefix+".recovery_wall_ns", "host wall-clock nanoseconds spent recovering", c.RecoveryWallNs)
+	reg.Gauge(prefix+".recovery_workers", "rebuild worker pool size recovery runs with", func() float64 {
+		return float64(c.RecoveryWorkers())
+	})
 	reg.Gauge(prefix+".wq_depth", "write-queue entries in flight", func() float64 {
 		return float64(len(c.wq.entries))
 	})
@@ -899,11 +939,21 @@ func (c *Controller) Crash() {
 	c.policy.Crash()
 }
 
-// Recover runs the active policy's crash recovery procedure.
+// Recover runs the active policy's crash recovery procedure. The
+// report's Workers field records the rebuild parallelism used; the
+// host wall-clock duration is accumulated for telemetry (see
+// RecoveryWallNs) and carried on the EvRecovery event, never in
+// simulated results.
 func (c *Controller) Recover(now uint64) (RecoveryReport, error) {
 	c.enter()
 	defer c.exit()
+	start := time.Now()
 	rep, err := c.policy.Recover(now)
+	wallNs := uint64(time.Since(start).Nanoseconds())
+	rep.Workers = c.RecoveryWorkers()
+	c.recoveryWallNs.Add(wallNs)
+	c.st.Recoveries.Inc()
+	c.st.RecoveryCycles.Add(rep.Cycles)
 	if c.trace != nil {
 		note := rep.Protocol
 		if err != nil {
@@ -912,6 +962,8 @@ func (c *Controller) Recover(now uint64) (RecoveryReport, error) {
 		c.trace.Emit(telemetry.Event{
 			Cycle:  now,
 			Kind:   telemetry.EvRecovery,
+			Level:  rep.Workers,
+			From:   wallNs,
 			Cycles: rep.Cycles,
 			Count:  rep.CounterReads + rep.DataReads + rep.ShadowReads,
 			Note:   note,

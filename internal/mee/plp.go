@@ -55,7 +55,7 @@ func (p *PLP) Barriers() uint64 { return p.barriers }
 // Recover implements Policy: like strict, nothing is stale.
 func (p *PLP) Recover(uint64) (RecoveryReport, error) {
 	c := p.ctrl
-	res := bmt.Rebuild(c.Device(), c.Engine(), c.Geometry(), 1, 0, false)
+	res := bmt.RebuildWith(c.Device(), c.Engine(), c.Geometry(), 1, 0, c.RebuildOptions(false))
 	rep := RecoveryReport{Protocol: p.Name(), StaleFraction: 0}
 	if res.Content != c.Root() {
 		return rep, &IntegrityError{What: "plp recovery root mismatch", Addr: 0}

@@ -79,6 +79,10 @@ type RecoveryReport struct {
 	StaleFraction float64
 	// Cycles is the simulated device time spent recovering.
 	Cycles uint64
+	// Workers is the rebuild worker pool size the recovery ran with
+	// (set by Controller.Recover; ≥1). All other fields are
+	// bit-identical at any value.
+	Workers int
 }
 
 // base provides no-op defaults for optional hooks; concrete policies
@@ -113,7 +117,7 @@ func (b *base) Overhead() Overhead { return Overhead{} }
 // recovery mechanism of the leaf-style protocols.
 func (b *base) rebuildAndAdopt(name string) (RecoveryReport, error) {
 	c := b.ctrl
-	res := bmt.Rebuild(c.Device(), c.Engine(), c.Geometry(), 1, 0, true)
+	res := bmt.RebuildWith(c.Device(), c.Engine(), c.Geometry(), 1, 0, c.RebuildOptions(true))
 	rep := RecoveryReport{
 		Protocol:      name,
 		CounterReads:  res.CounterReads,
@@ -181,7 +185,7 @@ func (*Strict) WriteThroughTree(int, uint64) bool { return true }
 // reconstruction. The tree is validated against the root register.
 func (s *Strict) Recover(uint64) (RecoveryReport, error) {
 	c := s.ctrl
-	res := bmt.Rebuild(c.Device(), c.Engine(), c.Geometry(), 1, 0, false)
+	res := bmt.RebuildWith(c.Device(), c.Engine(), c.Geometry(), 1, 0, c.RebuildOptions(false))
 	rep := RecoveryReport{Protocol: s.Name(), StaleFraction: 0}
 	if res.Content != c.Root() {
 		return rep, &IntegrityError{What: "strict recovery root mismatch", Addr: 0}
@@ -322,7 +326,7 @@ func (o *Osiris) Recover(now uint64) (RecoveryReport, error) {
 		}
 	}
 
-	res := bmt.Rebuild(dev, eng, c.Geometry(), 1, 0, true)
+	res := bmt.RebuildWith(dev, eng, c.Geometry(), 1, 0, c.RebuildOptions(true))
 	rep.NodeWrites = res.NodeWrites
 	rep.Cycles += res.Cycles
 	if res.Content != c.Root() {

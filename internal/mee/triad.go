@@ -63,13 +63,13 @@ func (t *Triad) Recover(uint64) (RecoveryReport, error) {
 	rep := RecoveryReport{Protocol: t.Name()}
 	if b <= 2 {
 		// Everything off-chip is persisted; like strict, validate only.
-		res := bmt.Rebuild(c.Device(), c.Engine(), g, 1, 0, false)
+		res := bmt.RebuildWith(c.Device(), c.Engine(), g, 1, 0, c.RebuildOptions(false))
 		if res.Content != c.Root() {
 			return rep, &IntegrityError{What: "triad recovery root mismatch", Addr: 0}
 		}
 		return rep, nil
 	}
-	res := bmt.RebuildAbove(c.Device(), c.Engine(), g, b, true)
+	res := bmt.RebuildAboveWith(c.Device(), c.Engine(), g, b, c.RebuildOptions(true))
 	rep.CounterReads = res.CounterReads
 	rep.NodeWrites = res.NodeWrites
 	rep.Cycles = res.Cycles

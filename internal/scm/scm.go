@@ -167,6 +167,38 @@ func (d *Device) Read(region Region, index uint64, dst []byte) uint64 {
 	return d.cfg.ReadCycles
 }
 
+// PeekInto copies block (region, index) into dst without timing or
+// statistics, reporting whether the block was present (absent blocks
+// read as zero, like Read). Unlike Read it never mutates device
+// state, so concurrent PeekInto calls are safe while no Write, Erase,
+// or tamper operation overlaps — the parallel rebuild engine relies
+// on this during its read-only fan-out phase and restores the traffic
+// accounting afterwards with AccountReads.
+func (d *Device) PeekInto(region Region, index uint64, dst []byte) bool {
+	if len(dst) != BlockSize {
+		panic("scm: peek buffer must be BlockSize bytes")
+	}
+	if blk, ok := d.store[region][index]; ok {
+		copy(dst, blk[:])
+		return true
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	return false
+}
+
+// AccountReads records n block reads against a region's traffic
+// counters without touching storage, returning their total cost in
+// cycles (n × ReadCycles). Together with PeekInto it lets a bulk
+// reader (the parallel rebuild engine) keep device statistics and
+// cycle sums bit-identical to n individual Read calls.
+func (d *Device) AccountReads(region Region, n uint64) uint64 {
+	d.stat.Reads.Add(n)
+	d.stat.RegionReads[region].Add(n)
+	return n * d.cfg.ReadCycles
+}
+
 // Write persists src into block (region, index) and returns the
 // access cost in cycles. The write is durable: it survives Crash.
 func (d *Device) Write(region Region, index uint64, src []byte) uint64 {

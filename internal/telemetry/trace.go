@@ -25,7 +25,10 @@ const (
 	// EvCrash: power failure — volatile state dropped.
 	EvCrash = "crash"
 	// EvRecovery: a crash recovery completed (Cycles is simulated
-	// recovery time, Count blocks scanned, Note the protocol).
+	// recovery time, Count blocks scanned, Note the protocol, Level
+	// the rebuild worker-pool width, From the host wall-clock
+	// nanoseconds the recovery took — informational only; all
+	// simulated fields are identical at any pool width).
 	EvRecovery = "recovery"
 	// EvFault: the fault-injection harness applied one fault to the
 	// device (Cycle is the crash cycle, Addr the block index, Note
