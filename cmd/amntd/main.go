@@ -4,15 +4,19 @@
 // live chaos endpoint that injects a fault-laden power failure into
 // one shard while the rest keep serving.
 //
-// API:
+// API (versioned under /v1; the unversioned paths remain as
+// deprecated aliases that answer identically but carry a
+// `Deprecation: true` header and a successor-version Link):
 //
-//	PUT  /kv/{key}         store the raw request body (≤ 63 bytes)
-//	GET  /kv/{key}         -> {"key":.., "value_b64":..}
-//	POST /flush            global persist barrier
-//	POST /checkpoint       persist shard images to -checkpoint-dir
-//	POST /recover          power-cycle every shard (crash + recover + verify)
-//	POST /chaos?shard=0&kind=torn&seed=1   fault-injected power failure
-//	GET  /store/stats      per-shard and aggregate counters
+//	PUT  /v1/kv/{key}      store the raw request body (≤ 63 bytes)
+//	GET  /v1/kv/{key}      -> {"key":.., "value_b64":..}
+//	POST /v1/batch         {"puts":[{"key":..,"value_b64":..}],"gets":[..]}
+//	                       one group-commit round trip; per-key results
+//	POST /v1/flush         global persist barrier
+//	POST /v1/checkpoint    persist shard images to -checkpoint-dir
+//	POST /v1/recover       power-cycle every shard (crash + recover + verify)
+//	POST /v1/chaos?shard=0&kind=torn&seed=1   fault-injected power failure
+//	GET  /v1/store/stats   per-shard and aggregate counters
 //
 // Shutdown (SIGINT/SIGTERM) is graceful: the HTTP server drains via
 // Shutdown, then the store drains its queues, flushes, and writes a
@@ -53,6 +57,8 @@ func main() {
 		level      = flag.Int("level", 3, "AMNT subtree level")
 		queue      = flag.Int("queue", 64, "bounded request queue depth per shard")
 		batch      = flag.Int("batch", 16, "max requests drained per worker wakeup")
+		epochMax   = flag.Int("epoch-max", 0, "max writes per group-commit epoch (0 = batch size, 1 = per-op commits)")
+		epochWait  = flag.Duration("epoch-wait", 0, "how long a worker lingers for more writes before committing a short epoch")
 		ckptDir    = flag.String("checkpoint-dir", "", "checkpoint directory (empty = no checkpoints)")
 		reqTimeout = flag.Duration("req-timeout", 2*time.Second, "per-request serving deadline")
 		sample     = flag.Duration("sample", 250*time.Millisecond, "telemetry sampling period")
@@ -66,6 +72,8 @@ func main() {
 		Protocol:      *protocol,
 		QueueDepth:    *queue,
 		BatchMax:      *batch,
+		EpochMax:      *epochMax,
+		EpochWait:     *epochWait,
 		CheckpointDir: *ckptDir,
 	}
 	cfg.MEE.RecoveryWorkers = *recWorkers
@@ -126,42 +134,46 @@ func main() {
 	fmt.Println("amntd: store drained and checkpointed")
 }
 
-// mount attaches the store routes to the telemetry mux.
+// mount attaches the store routes to the telemetry mux: the
+// canonical surface lives under /v1/, and every pre-versioning path
+// stays mounted as a deprecated alias of its /v1 successor.
 func mount(mux *http.ServeMux, st *store.Store, reqTimeout time.Duration) {
-	mux.HandleFunc("/kv/", func(w http.ResponseWriter, r *http.Request) {
-		key, err := strconv.ParseUint(strings.TrimPrefix(r.URL.Path, "/kv/"), 10, 64)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad key: %w", err))
-			return
-		}
-		ctx, cancel := context.WithTimeout(r.Context(), reqTimeout)
-		defer cancel()
-		switch r.Method {
-		case http.MethodGet:
-			v, err := st.Get(ctx, key)
+	kv := func(prefix string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			key, err := strconv.ParseUint(strings.TrimPrefix(r.URL.Path, prefix), 10, 64)
 			if err != nil {
-				httpError(w, statusFor(err), err)
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad key: %w", err))
 				return
 			}
-			writeJSON(w, map[string]any{
-				"key":       key,
-				"value_b64": base64.StdEncoding.EncodeToString(v),
-			})
-		case http.MethodPut, http.MethodPost:
-			body, err := io.ReadAll(io.LimitReader(r.Body, store.MaxValueLen+1))
-			if err != nil {
-				httpError(w, http.StatusBadRequest, err)
-				return
+			ctx, cancel := context.WithTimeout(r.Context(), reqTimeout)
+			defer cancel()
+			switch r.Method {
+			case http.MethodGet:
+				v, err := st.Get(ctx, key)
+				if err != nil {
+					httpError(w, statusFor(err), err)
+					return
+				}
+				writeJSON(w, map[string]any{
+					"key":       key,
+					"value_b64": base64.StdEncoding.EncodeToString(v),
+				})
+			case http.MethodPut, http.MethodPost:
+				body, err := io.ReadAll(io.LimitReader(r.Body, store.MaxValueLen+1))
+				if err != nil {
+					httpError(w, http.StatusBadRequest, err)
+					return
+				}
+				if err := st.Put(ctx, key, body); err != nil {
+					httpError(w, statusFor(err), err)
+					return
+				}
+				writeJSON(w, map[string]any{"ok": true, "key": key})
+			default:
+				httpError(w, http.StatusMethodNotAllowed, errors.New("use GET or PUT"))
 			}
-			if err := st.Put(ctx, key, body); err != nil {
-				httpError(w, statusFor(err), err)
-				return
-			}
-			writeJSON(w, map[string]any{"ok": true, "key": key})
-		default:
-			httpError(w, http.StatusMethodNotAllowed, errors.New("use GET or PUT"))
 		}
-	})
+	}
 	control := func(name string, fn func(context.Context) error) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
 			if r.Method != http.MethodPost {
@@ -179,10 +191,7 @@ func mount(mux *http.ServeMux, st *store.Store, reqTimeout time.Duration) {
 			writeJSON(w, map[string]any{"ok": true, "op": name})
 		}
 	}
-	mux.HandleFunc("/flush", control("flush", st.Flush))
-	mux.HandleFunc("/checkpoint", control("checkpoint", st.Checkpoint))
-	mux.HandleFunc("/recover", control("recover", st.Recover))
-	mux.HandleFunc("/chaos", func(w http.ResponseWriter, r *http.Request) {
+	chaos := func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
 			return
@@ -216,10 +225,105 @@ func mount(mux *http.ServeMux, st *store.Store, reqTimeout time.Duration) {
 			return
 		}
 		writeJSON(w, res)
-	})
-	mux.HandleFunc("/store/stats", func(w http.ResponseWriter, _ *http.Request) {
+	}
+	stats := func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, st.Stats())
-	})
+	}
+
+	mux.HandleFunc("/v1/kv/", kv("/v1/kv/"))
+	mux.HandleFunc("/v1/batch", batchHandler(st, reqTimeout))
+	mux.HandleFunc("/v1/flush", control("flush", st.Flush))
+	mux.HandleFunc("/v1/checkpoint", control("checkpoint", st.Checkpoint))
+	mux.HandleFunc("/v1/recover", control("recover", st.Recover))
+	mux.HandleFunc("/v1/chaos", chaos)
+	mux.HandleFunc("/v1/store/stats", stats)
+
+	// Pre-versioning aliases. Answer identically but advertise the
+	// successor route so clients can migrate before removal.
+	alias := func(old, successor string, h http.HandlerFunc) {
+		mux.HandleFunc(old, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+			h(w, r)
+		})
+	}
+	alias("/kv/", "/v1/kv/", kv("/kv/"))
+	alias("/flush", "/v1/flush", control("flush", st.Flush))
+	alias("/checkpoint", "/v1/checkpoint", control("checkpoint", st.Checkpoint))
+	alias("/recover", "/v1/recover", control("recover", st.Recover))
+	alias("/chaos", "/v1/chaos", chaos)
+	alias("/store/stats", "/v1/store/stats", stats)
+}
+
+// batchPut is one write in a /v1/batch request body.
+type batchPut struct {
+	Key      uint64 `json:"key"`
+	ValueB64 string `json:"value_b64"`
+}
+
+// batchRequest is the /v1/batch body: puts apply before gets, so a
+// batch can read back its own writes.
+type batchRequest struct {
+	Puts []batchPut `json:"puts,omitempty"`
+	Gets []uint64   `json:"gets,omitempty"`
+}
+
+// batchResult is one per-key outcome in a /v1/batch response.
+type batchResult struct {
+	Key      uint64 `json:"key"`
+	ValueB64 string `json:"value_b64,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// batchHandler serves POST /v1/batch: the whole batch travels as one
+// multi-op request per shard and the writes commit as group-commit
+// epochs. Per-key failures are reported in place; the HTTP status
+// stays 200 unless the request itself is malformed.
+func batchHandler(st *store.Store, reqTimeout time.Duration) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+			return
+		}
+		var req batchRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad batch body: %w", err))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), reqTimeout)
+		defer cancel()
+
+		putRes := make([]batchResult, len(req.Puts))
+		kvs := make([]store.KV, 0, len(req.Puts))
+		kvIdx := make([]int, 0, len(req.Puts))
+		for i, p := range req.Puts {
+			putRes[i].Key = p.Key
+			v, err := base64.StdEncoding.DecodeString(p.ValueB64)
+			if err != nil {
+				putRes[i].Error = "bad value_b64: " + err.Error()
+				continue
+			}
+			kvs = append(kvs, store.KV{Key: p.Key, Value: v})
+			kvIdx = append(kvIdx, i)
+		}
+		for j, err := range st.PutBatch(ctx, kvs) {
+			if err != nil {
+				putRes[kvIdx[j]].Error = err.Error()
+			}
+		}
+
+		getRes := make([]batchResult, len(req.Gets))
+		values, errs := st.GetBatch(ctx, req.Gets)
+		for i, key := range req.Gets {
+			getRes[i].Key = key
+			if errs[i] != nil {
+				getRes[i].Error = errs[i].Error()
+				continue
+			}
+			getRes[i].ValueB64 = base64.StdEncoding.EncodeToString(values[i])
+		}
+		writeJSON(w, map[string]any{"puts": putRes, "gets": getRes})
+	}
 }
 
 func statusFor(err error) int {

@@ -1,0 +1,241 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	_ "amnt/internal/core"
+	"amnt/internal/store"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(store.Config{
+		Shards:        2,
+		ShardMemBytes: 256 << 10,
+		Protocol:      "leaf",
+		QueueDepth:    64,
+		BatchMax:      8,
+		CheckpointDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	mux := http.NewServeMux()
+	mount(mux, st, 2*time.Second)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		srv.Close()
+		if err := st.Close(context.Background()); err != nil {
+			t.Errorf("close store: %v", err)
+		}
+	})
+	return srv, st
+}
+
+// TestServerV1KV round-trips a value through the canonical versioned
+// routes.
+func TestServerV1KV(t *testing.T) {
+	srv, _ := testServer(t)
+
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/kv/7", strings.NewReader("hello"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("put status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "" {
+		t.Fatal("versioned route flagged as deprecated")
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/kv/7")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Key      uint64 `json:"key"`
+		ValueB64 string `json:"value_b64"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if v, _ := base64.StdEncoding.DecodeString(out.ValueB64); string(v) != "hello" {
+		t.Fatalf("got %q, want hello", v)
+	}
+}
+
+// TestServerBatch drives POST /v1/batch: puts commit as one group, the
+// same request's gets read them back, and per-key failures (missing
+// key, undecodable value) surface in place with HTTP 200.
+func TestServerBatch(t *testing.T) {
+	srv, st := testServer(t)
+
+	body := map[string]any{
+		"puts": []map[string]any{
+			{"key": 1, "value_b64": base64.StdEncoding.EncodeToString([]byte("alpha"))},
+			{"key": 2, "value_b64": base64.StdEncoding.EncodeToString([]byte("beta"))},
+			{"key": 3, "value_b64": "%%% not base64 %%%"},
+		},
+		"gets": []uint64{1, 2, 999},
+	}
+	buf, _ := json.Marshal(body)
+	resp, err := http.Post(srv.URL+"/v1/batch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var out struct {
+		Puts []struct {
+			Key   uint64 `json:"key"`
+			Error string `json:"error"`
+		} `json:"puts"`
+		Gets []struct {
+			Key      uint64 `json:"key"`
+			ValueB64 string `json:"value_b64"`
+			Error    string `json:"error"`
+		} `json:"gets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out.Puts) != 3 || len(out.Gets) != 3 {
+		t.Fatalf("result shape: %d puts, %d gets", len(out.Puts), len(out.Gets))
+	}
+	if out.Puts[0].Error != "" || out.Puts[1].Error != "" {
+		t.Fatalf("valid puts failed: %+v", out.Puts)
+	}
+	if out.Puts[2].Error == "" {
+		t.Fatal("undecodable value accepted")
+	}
+	for i, want := range []string{"alpha", "beta"} {
+		v, _ := base64.StdEncoding.DecodeString(out.Gets[i].ValueB64)
+		if string(v) != want {
+			t.Fatalf("get %d: %q, want %q", i, v, want)
+		}
+	}
+	if out.Gets[2].Error == "" {
+		t.Fatal("missing key returned no error")
+	}
+	if st.Stats().Shards[0].Epochs+st.Stats().Shards[1].Epochs == 0 {
+		t.Fatal("batch served without a group-commit epoch")
+	}
+}
+
+// TestServerDeprecatedAliases pins the compatibility contract: every
+// unversioned route still answers, carries a Deprecation header, and
+// links its /v1 successor.
+func TestServerDeprecatedAliases(t *testing.T) {
+	srv, _ := testServer(t)
+
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/kv/11", strings.NewReader("old"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("alias put: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("alias put status %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatal("alias missing Deprecation header")
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1/kv/") {
+		t.Fatalf("alias Link %q does not name successor", link)
+	}
+
+	// The alias and the versioned route hit the same store.
+	resp, err = http.Get(srv.URL + "/v1/kv/11")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		ValueB64 string `json:"value_b64"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if v, _ := base64.StdEncoding.DecodeString(out.ValueB64); string(v) != "old" {
+		t.Fatalf("alias write not visible via /v1: %q", v)
+	}
+
+	for old, successor := range map[string]string{
+		"/flush":       "/v1/flush",
+		"/checkpoint":  "/v1/checkpoint",
+		"/recover":     "/v1/recover",
+		"/store/stats": "/v1/store/stats",
+	} {
+		method := http.MethodPost
+		if old == "/store/stats" {
+			method = http.MethodGet
+		}
+		req, _ := http.NewRequest(method, srv.URL+old, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s: %v", old, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", old, resp.StatusCode)
+		}
+		if resp.Header.Get("Deprecation") != "true" {
+			t.Fatalf("%s missing Deprecation header", old)
+		}
+		if link := resp.Header.Get("Link"); !strings.Contains(link, successor) {
+			t.Fatalf("%s Link %q does not name %s", old, link, successor)
+		}
+	}
+}
+
+// TestServerStats checks /v1/store/stats decodes and reflects epoch
+// accounting after a batch write.
+func TestServerStats(t *testing.T) {
+	srv, _ := testServer(t)
+
+	puts := make([]map[string]any, 32)
+	for i := range puts {
+		puts[i] = map[string]any{
+			"key":       i,
+			"value_b64": base64.StdEncoding.EncodeToString([]byte(fmt.Sprintf("v%d", i))),
+		}
+	}
+	buf, _ := json.Marshal(map[string]any{"puts": puts})
+	resp, err := http.Post(srv.URL+"/v1/batch", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/v1/store/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var snap store.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	var epochs, ops uint64
+	for _, sh := range snap.Shards {
+		epochs += sh.Epochs
+		ops += sh.EpochOps
+	}
+	if epochs == 0 || ops != 32 {
+		t.Fatalf("stats report epochs=%d epoch_ops=%d, want all 32 writes epoch-committed", epochs, ops)
+	}
+}

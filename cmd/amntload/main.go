@@ -12,10 +12,15 @@
 // Overloaded responses (HTTP 503, the store's explicit backpressure)
 // are counted and retried-as-next-op rather than treated as errors.
 //
+// With -batch N > 1 each client groups N consecutive trace ops into a
+// single POST /v1/batch request (puts and gets of the group travel
+// together), exercising the server's group-commit path; every op in
+// the group is charged the batch round-trip latency.
+//
 // Example:
 //
 //	amntload -addr http://localhost:8080 -workload ycsb-a -clients 8 -ops 20000
-//	amntload -addr http://localhost:8080 -json > BENCH_store.json
+//	amntload -addr http://localhost:8080 -batch 32 -json > BENCH_store.json
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -45,11 +51,16 @@ func main() {
 		valueLen  = flag.Int("value-len", 24, "value payload bytes (8-byte key stamp + filler)")
 		seed      = flag.Int64("seed", 1, "trace seed")
 		writeFrac = flag.Float64("write-frac", 0.5, "store fraction for -workload uniform")
+		batchN    = flag.Int("batch", 1, "ops per POST /v1/batch request (1 = per-op /v1/kv)")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON (BENCH_store.json format)")
 	)
 	flag.Parse()
 	if *valueLen < 8 || *valueLen > 63 {
 		fmt.Fprintln(os.Stderr, "amntload: -value-len must be in [8, 63]")
+		os.Exit(1)
+	}
+	if *batchN < 1 {
+		fmt.Fprintln(os.Stderr, "amntload: -batch must be >= 1")
 		os.Exit(1)
 	}
 
@@ -79,7 +90,7 @@ func main() {
 			defer wg.Done()
 			cs := spec
 			cs.Accesses = uint64(perClient)
-			results[i] = runClient(*addr, workload.NewTrace(cs, *seed+int64(i)), *keyspace, *valueLen)
+			results[i] = runClient(*addr, workload.NewTrace(cs, *seed+int64(i)), *keyspace, *valueLen, *batchN)
 		}(i)
 	}
 	wg.Wait()
@@ -88,7 +99,7 @@ func main() {
 	// Merge per-client latency histograms (microsecond keys) and
 	// counters into one report.
 	merged := report{
-		Workload: spec.Name, Clients: *clients, ValueLen: *valueLen,
+		Workload: spec.Name, Clients: *clients, Batch: *batchN, ValueLen: *valueLen,
 		Keyspace: *keyspace, DurationSec: wall.Seconds(),
 	}
 	getHist, putHist := stats.NewHistogram(), stats.NewHistogram()
@@ -148,6 +159,7 @@ func quantiles(h *stats.Histogram) latQuantiles {
 type report struct {
 	Workload    string       `json:"workload"`
 	Clients     int          `json:"clients"`
+	Batch       int          `json:"batch"`
 	Keyspace    uint64       `json:"keyspace"`
 	ValueLen    int          `json:"value_len"`
 	DurationSec float64      `json:"duration_sec"`
@@ -180,16 +192,20 @@ func valueFor(key uint64, n int) []byte {
 	return v
 }
 
-func runClient(addr string, trace *workload.Trace, keyspace uint64, valueLen int) clientResult {
+func runClient(addr string, trace *workload.Trace, keyspace uint64, valueLen int, batch int) clientResult {
 	res := clientResult{getLat: stats.NewHistogram(), putLat: stats.NewHistogram()}
 	httpc := &http.Client{Timeout: 10 * time.Second}
+	if batch > 1 {
+		runBatched(addr, trace, keyspace, valueLen, batch, httpc, &res)
+		return res
+	}
 	for {
 		acc, ok := trace.Next()
 		if !ok {
 			break
 		}
 		key := (acc.VAddr / 64) % keyspace
-		url := fmt.Sprintf("%s/kv/%d", addr, key)
+		url := fmt.Sprintf("%s/v1/kv/%d", addr, key)
 		t0 := time.Now()
 		if acc.Write {
 			req, _ := http.NewRequest(http.MethodPut, url, bytes.NewReader(valueFor(key, valueLen)))
@@ -244,4 +260,102 @@ func runClient(addr string, trace *workload.Trace, keyspace uint64, valueLen int
 		}
 	}
 	return res
+}
+
+// runBatched replays the trace through POST /v1/batch, `batch` ops
+// per request. Per-key outcomes come back in place with HTTP 200, so
+// errors are classified by their message: backpressure counts as an
+// overload, a missing key as not-found, anything else as an error.
+func runBatched(addr string, trace *workload.Trace, keyspace uint64, valueLen int, batch int, httpc *http.Client, res *clientResult) {
+	type batchOp struct {
+		Key      uint64 `json:"key"`
+		ValueB64 string `json:"value_b64,omitempty"`
+		Error    string `json:"error,omitempty"`
+	}
+	puts := make([]batchOp, 0, batch)
+	gets := make([]uint64, 0, batch)
+	flush := func() {
+		if len(puts)+len(gets) == 0 {
+			return
+		}
+		body, _ := json.Marshal(map[string]any{"puts": puts, "gets": gets})
+		t0 := time.Now()
+		resp, err := httpc.Post(addr+"/v1/batch", "application/json", bytes.NewReader(body))
+		us := uint64(time.Since(t0).Microseconds())
+		res.puts += uint64(len(puts))
+		res.gets += uint64(len(gets))
+		for range puts {
+			res.putLat.Observe(us)
+		}
+		for range gets {
+			res.getLat.Observe(us)
+		}
+		defer func() { puts, gets = puts[:0], gets[:0] }()
+		if err != nil {
+			res.errors += uint64(len(puts) + len(gets))
+			return
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				res.overloads += uint64(len(puts) + len(gets))
+			} else {
+				res.errors += uint64(len(puts) + len(gets))
+			}
+			return
+		}
+		var out struct {
+			Puts []batchOp `json:"puts"`
+			Gets []batchOp `json:"gets"`
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			res.errors += uint64(len(puts) + len(gets))
+			return
+		}
+		classify := func(msg string) {
+			switch {
+			case strings.Contains(msg, "queue full"):
+				res.overloads++
+			case strings.Contains(msg, "not found"):
+				res.notFound++
+			default:
+				res.errors++
+			}
+		}
+		for _, p := range out.Puts {
+			if p.Error != "" {
+				classify(p.Error)
+			}
+		}
+		for _, g := range out.Gets {
+			if g.Error != "" {
+				classify(g.Error)
+				continue
+			}
+			v, err := base64.StdEncoding.DecodeString(g.ValueB64)
+			if err != nil || !bytes.Equal(v, valueFor(g.Key, len(v))) {
+				res.corruptions++
+			}
+		}
+	}
+	for {
+		acc, ok := trace.Next()
+		if !ok {
+			break
+		}
+		key := (acc.VAddr / 64) % keyspace
+		if acc.Write {
+			puts = append(puts, batchOp{
+				Key:      key,
+				ValueB64: base64.StdEncoding.EncodeToString(valueFor(key, valueLen)),
+			})
+		} else {
+			gets = append(gets, key)
+		}
+		if len(puts)+len(gets) == batch {
+			flush()
+		}
+	}
+	flush()
 }

@@ -1,0 +1,197 @@
+package mee_test
+
+import (
+	"bytes"
+	"testing"
+
+	_ "amnt/internal/core" // register the AMNT protocol family
+	"amnt/internal/mee"
+	"amnt/internal/scm"
+)
+
+func newEpochTestController(t *testing.T, proto string) *mee.Controller {
+	t.Helper()
+	policy, err := mee.NewPolicy(proto, mee.PolicyOptions{})
+	if err != nil {
+		t.Fatalf("policy %s: %v", proto, err)
+	}
+	dev := scm.New(scm.Config{CapacityBytes: 1 << 20})
+	return mee.New(dev, mee.Config{}, policy)
+}
+
+// epochTestOps builds a deterministic write sequence with spatial
+// locality (so AMNT movement engages), overwrites (so write combining
+// has work), and one block hot enough to overflow its minor counter
+// mid-sequence (so page re-encryption runs inside an epoch).
+func epochTestOps(n int, blocks uint64) ([]uint64, [][]byte) {
+	ops := make([]uint64, 0, n)
+	vals := make([][]byte, 0, n)
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < n; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		var b uint64
+		switch {
+		case i%3 == 0:
+			b = 7 // hot block: n/3 bumps overflows the 7-bit minor
+		case i%3 == 1:
+			b = state % 64 // hot page neighborhood
+		default:
+			b = state % blocks
+		}
+		v := make([]byte, scm.BlockSize)
+		for j := range v {
+			v[j] = byte(uint64(i)*31 + uint64(j) + state)
+		}
+		ops = append(ops, b)
+		vals = append(vals, v)
+	}
+	return ops, vals
+}
+
+// TestEpochCommitMatchesPerOp is the group-commit equivalence
+// property: replaying the same write sequence per-op on one controller
+// and through epochs of varying size on another must converge to the
+// same root register, and both must power-cycle back to the same
+// (correct) data. Policy hooks are consulted per logical write in both
+// modes, so stateful policies see the same sequence.
+func TestEpochCommitMatchesPerOp(t *testing.T) {
+	protocols := []string{"leaf", "strict", "osiris", "anubis", "plp", "bmf", "triad", "battery", "amnt"}
+	for _, proto := range protocols {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			perOp := newEpochTestController(t, proto)
+			grouped := newEpochTestController(t, proto)
+			const n = 600
+			ops, vals := epochTestOps(n, perOp.Device().DataBlocks())
+
+			var nowA uint64
+			for i, b := range ops {
+				cycles, err := perOp.WriteBlock(nowA, b, vals[i])
+				if err != nil {
+					t.Fatalf("per-op write %d: %v", i, err)
+				}
+				nowA += cycles
+			}
+
+			chunks := []int{1, 2, 3, 5, 8, 16}
+			var nowB uint64
+			i := 0
+			for c := 0; i < n; c++ {
+				size := chunks[c%len(chunks)]
+				ep := grouped.BeginEpoch(nowB)
+				for j := 0; j < size && i < n; j++ {
+					if err := ep.Put(ops[i], vals[i]); err != nil {
+						t.Fatalf("stage %d: %v", i, err)
+					}
+					i++
+				}
+				res, err := ep.Commit()
+				if err != nil {
+					t.Fatalf("commit at op %d: %v", i, err)
+				}
+				nowB += res.Cycles
+			}
+
+			if perOp.Root() != grouped.Root() {
+				t.Fatalf("roots diverge after %d ops: per-op %x, epoch %x", n, perOp.Root(), grouped.Root())
+			}
+
+			// Both modes must come back from a power cycle with every
+			// acknowledged write intact and identical.
+			for name, c := range map[string]*mee.Controller{"per-op": perOp, "epoch": grouped} {
+				c.Crash()
+				if _, err := c.Recover(0); err != nil {
+					t.Fatalf("%s recover: %v", name, err)
+				}
+				if err := c.VerifyAll(0); err != nil {
+					t.Fatalf("%s verify: %v", name, err)
+				}
+			}
+			final := make(map[uint64][]byte)
+			for i, b := range ops {
+				final[b] = vals[i]
+			}
+			bufA := make([]byte, scm.BlockSize)
+			bufB := make([]byte, scm.BlockSize)
+			for b, want := range final {
+				if _, err := perOp.ReadBlock(0, b, bufA); err != nil {
+					t.Fatalf("per-op read %d: %v", b, err)
+				}
+				if _, err := grouped.ReadBlock(0, b, bufB); err != nil {
+					t.Fatalf("epoch read %d: %v", b, err)
+				}
+				if !bytes.Equal(bufA, want) || !bytes.Equal(bufB, want) {
+					t.Fatalf("block %d: per-op/epoch/expected contents diverge", b)
+				}
+			}
+		})
+	}
+}
+
+// TestEpochWriteCombining checks the dedup accounting: an epoch that
+// overwrites one block many times reaches the device once and climbs
+// each path node once.
+func TestEpochWriteCombining(t *testing.T) {
+	c := newEpochTestController(t, "leaf")
+	ep := c.BeginEpoch(0)
+	v := make([]byte, scm.BlockSize)
+	for i := 0; i < 10; i++ {
+		v[1] = byte(i)
+		if err := ep.Put(3, v); err != nil {
+			t.Fatalf("stage %d: %v", i, err)
+		}
+	}
+	res, err := ep.Commit()
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if res.Ops != 10 || res.Blocks != 1 || res.Counters != 1 {
+		t.Fatalf("result = %+v, want 10 ops, 1 block, 1 counter", res)
+	}
+	levels := c.Geometry().Levels
+	if want := levels - 2; res.TreeNodes != want {
+		t.Fatalf("tree nodes = %d, want one per inner level (%d)", res.TreeNodes, want)
+	}
+	buf := make([]byte, scm.BlockSize)
+	if _, err := c.ReadBlock(0, 3, buf); err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if buf[1] != 9 {
+		t.Fatalf("read %d, want final overwrite 9", buf[1])
+	}
+}
+
+// TestEpochLifecycle covers the single-use contract and the empty
+// epoch.
+func TestEpochLifecycle(t *testing.T) {
+	c := newEpochTestController(t, "leaf")
+	ep := c.BeginEpoch(0)
+	if res, err := ep.Commit(); err != nil || res.Ops != 0 || res.Cycles != 0 {
+		t.Fatalf("empty commit = %+v, %v", res, err)
+	}
+	if _, err := ep.Commit(); err == nil {
+		t.Fatal("double commit succeeded")
+	}
+	v := make([]byte, scm.BlockSize)
+	if err := ep.Put(0, v); err == nil {
+		t.Fatal("Put after commit succeeded")
+	}
+
+	ep = c.BeginEpoch(0)
+	if err := ep.Put(0, v); err != nil {
+		t.Fatalf("stage: %v", err)
+	}
+	ep.Abort()
+	if root, zero := c.Root(), newEpochTestController(t, "leaf").Root(); root != zero {
+		t.Fatal("aborted epoch mutated the root")
+	}
+	if err := ep.Put(1, v); err == nil {
+		t.Fatal("Put after abort succeeded")
+	}
+
+	ep = c.BeginEpoch(0)
+	if err := ep.Put(c.Device().DataBlocks(), v); err == nil {
+		t.Fatal("out-of-capacity Put succeeded")
+	}
+}

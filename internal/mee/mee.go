@@ -734,6 +734,12 @@ func (c *Controller) readBlock(now uint64, b uint64, dst []byte) (uint64, error)
 func (c *Controller) WriteBlock(now uint64, b uint64, src []byte) (uint64, error) {
 	c.enter()
 	defer c.exit()
+	return c.writeBlock(now, b, src)
+}
+
+// writeBlock is WriteBlock without the concurrency guard, for callers
+// already inside a guarded operation (a one-write epoch commit).
+func (c *Controller) writeBlock(now uint64, b uint64, src []byte) (uint64, error) {
 	if len(src) != scm.BlockSize {
 		panic("mee: WriteBlock buffer must be BlockSize bytes")
 	}

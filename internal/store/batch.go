@@ -1,0 +1,118 @@
+package store
+
+import (
+	"context"
+	"sync"
+)
+
+// KV is one key/value pair of a batched put.
+type KV struct {
+	Key   uint64
+	Value []byte
+}
+
+// PutBatch stores every pair in kvs, submitting one multi-op request
+// per shard (fan-out/fan-in) instead of one queue round-trip per key —
+// the client-side expression of a group-commit epoch. The result is
+// one error per input pair, nil on success; a shard-level failure
+// (ErrOverloaded, ErrClosed, ErrShardFailed, context expiry) is
+// reported on every key routed to that shard. Values are copied;
+// callers may reuse their buffers. Acknowledgment semantics match Put:
+// a nil error means the write is durable to the same degree a per-op
+// acknowledged write is.
+func (s *Store) PutBatch(ctx context.Context, kvs []KV) []error {
+	errs := make([]error, len(kvs))
+	type shardPut struct {
+		pairs []kvPair
+		idx   []int // original positions, parallel to pairs
+	}
+	group := make(map[*shard]*shardPut)
+	var order []*shard
+	for i, kv := range kvs {
+		if len(kv.Value) > MaxValueLen {
+			errs[i] = ErrValueTooLarge
+			continue
+		}
+		sh, block := s.shardFor(kv.Key)
+		if block >= sh.blocks {
+			errs[i] = ErrOutOfRange
+			continue
+		}
+		g := group[sh]
+		if g == nil {
+			g = &shardPut{}
+			group[sh] = g
+			order = append(order, sh)
+		}
+		v := make([]byte, len(kv.Value))
+		copy(v, kv.Value)
+		g.pairs = append(g.pairs, kvPair{block: block, value: v})
+		g.idx = append(g.idx, i)
+	}
+	var wg sync.WaitGroup
+	for _, sh := range order {
+		g := group[sh]
+		wg.Add(1)
+		go func(sh *shard, g *shardPut) {
+			defer wg.Done()
+			resp, err := s.submit(ctx, sh, request{op: opPutMulti, kvs: g.pairs, resp: make(chan response, 1)})
+			for j, i := range g.idx {
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				errs[i] = resp.errs[j]
+			}
+		}(sh, g)
+	}
+	wg.Wait()
+	return errs
+}
+
+// GetBatch returns the values stored at keys, one multi-op request per
+// shard. Results are parallel to keys: values[i] is non-nil exactly
+// when errs[i] is nil; a missing key reports ErrNotFound, and a
+// shard-level failure is reported on every key routed to that shard.
+func (s *Store) GetBatch(ctx context.Context, keys []uint64) ([][]byte, []error) {
+	values := make([][]byte, len(keys))
+	errs := make([]error, len(keys))
+	type shardGet struct {
+		blocks []uint64
+		idx    []int
+	}
+	group := make(map[*shard]*shardGet)
+	var order []*shard
+	for i, key := range keys {
+		sh, block := s.shardFor(key)
+		if block >= sh.blocks {
+			errs[i] = ErrOutOfRange
+			continue
+		}
+		g := group[sh]
+		if g == nil {
+			g = &shardGet{}
+			group[sh] = g
+			order = append(order, sh)
+		}
+		g.blocks = append(g.blocks, block)
+		g.idx = append(g.idx, i)
+	}
+	var wg sync.WaitGroup
+	for _, sh := range order {
+		g := group[sh]
+		wg.Add(1)
+		go func(sh *shard, g *shardGet) {
+			defer wg.Done()
+			resp, err := s.submit(ctx, sh, request{op: opGetMulti, blocks: g.blocks, resp: make(chan response, 1)})
+			for j, i := range g.idx {
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				values[i], errs[i] = resp.values[j], resp.errs[j]
+			}
+		}(sh, g)
+	}
+	wg.Wait()
+	return values, errs
+}

@@ -68,3 +68,77 @@ func BenchmarkStoreThroughput(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkStoreThroughputBatched measures the batch-first path: each
+// iteration is one PutBatch+GetBatch round of `batch` keys, fanned out
+// as one multi-op request per shard and committed as group-commit
+// epochs. ns/op divided by 2×batch is the per-key cost to compare
+// against BenchmarkStoreThroughput.
+func BenchmarkStoreThroughputBatched(b *testing.B) {
+	for _, batch := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			s, err := Open(Config{
+				Shards:        4,
+				ShardMemBytes: 1 << 20,
+				Protocol:      "leaf",
+				QueueDepth:    256,
+				BatchMax:      32,
+			})
+			if err != nil {
+				b.Fatalf("open: %v", err)
+			}
+			defer func() {
+				if err := s.Close(context.Background()); err != nil {
+					b.Fatalf("close: %v", err)
+				}
+			}()
+			ctx := context.Background()
+			keyspace := uint64(4) * (1 << 12)
+			var seq atomic.Uint64
+
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				kvs := make([]KV, batch)
+				keys := make([]uint64, batch)
+				val := make([]byte, 24)
+				for pb.Next() {
+					n := seq.Add(1)
+					for i := range kvs {
+						key := ((n*uint64(batch) + uint64(i)) * 2654435761) % keyspace
+						binary.LittleEndian.PutUint64(val, key)
+						kvs[i] = KV{Key: key, Value: val}
+						keys[i] = key
+					}
+					for {
+						errs := s.PutBatch(ctx, kvs)
+						if !retryBatch(b, errs) {
+							break
+						}
+					}
+					for {
+						_, errs := s.GetBatch(ctx, keys)
+						if !retryBatch(b, errs) {
+							break
+						}
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*batch*2)/b.Elapsed().Seconds(), "keys/sec")
+		})
+	}
+}
+
+// retryBatch fails the benchmark on a real error and reports whether
+// the batch saw backpressure and should retry.
+func retryBatch(b *testing.B, errs []error) bool {
+	for _, err := range errs {
+		if errors.Is(err, ErrOverloaded) {
+			return true
+		}
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			b.Fatalf("batch op: %v", err)
+		}
+	}
+	return false
+}

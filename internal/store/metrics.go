@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"amnt/internal/stats"
 	"amnt/internal/telemetry"
 )
 
@@ -19,6 +20,10 @@ type shardMetrics struct {
 
 	chaosRuns, chaosRecovered, chaosDetected atomic.Uint64
 	chaosRepaired, chaosViolations           atomic.Uint64
+
+	// Group-commit accounting: committed epochs, writes they carried,
+	// and commits that degraded to per-op replay.
+	epochs, epochOps, epochFallbacks atomic.Uint64
 
 	// Controller snapshot, published by the worker.
 	cycles, dataReads, dataWrites, metaFetches atomic.Uint64
@@ -55,6 +60,9 @@ type ShardSnapshot struct {
 	OtherErrs     uint64 `json:"other_errors"`
 	Batches       uint64 `json:"batches"`
 	BatchItems    uint64 `json:"batch_items"`
+	Epochs        uint64 `json:"epochs"`
+	EpochOps      uint64 `json:"epoch_ops"`
+	EpochFallback uint64 `json:"epoch_fallbacks"`
 	ChaosRuns     uint64 `json:"chaos_runs"`
 	Cycles        uint64 `json:"sim_cycles"`
 	DataReads     uint64 `json:"data_reads"`
@@ -93,6 +101,9 @@ func (s *Store) Stats() Snapshot {
 			OtherErrs:     m.otherErrs.Load(),
 			Batches:       m.batches.Load(),
 			BatchItems:    m.batchItems.Load(),
+			Epochs:        m.epochs.Load(),
+			EpochOps:      m.epochOps.Load(),
+			EpochFallback: m.epochFallbacks.Load(),
 			ChaosRuns:     m.chaosRuns.Load(),
 			Cycles:        m.cycles.Load(),
 			DataReads:     m.dataReads.Load(),
@@ -130,6 +141,11 @@ func (s *Store) RegisterMetrics(reg *telemetry.Registry) {
 		reg.Counter(p+".overloads", "requests rejected by the bounded queue", sh.m.overloads.Load)
 		reg.Counter(p+".integrity_errors", "requests failed on integrity violations", sh.m.integrityErrs.Load)
 		reg.Counter(p+".recoveries", "successful power-cycle recoveries", sh.m.recoveries.Load)
+		reg.Counter(p+".epochs", "group-commit epochs committed", sh.m.epochs.Load)
+		reg.Counter(p+".epoch_ops", "writes committed through epochs", sh.m.epochOps.Load)
+		reg.Counter(p+".epoch_fallbacks", "epoch commits degraded to per-op replay", sh.m.epochFallbacks.Load)
+		reg.Histogram(p+".epoch_size", "staged writes per committed epoch", sh.epochSizeHistogram)
+		reg.Histogram(p+".epoch_kcycles", "epoch commit latency (256-cycle buckets)", sh.epochCycleHistogram)
 		reg.Counter(p+".chaos_runs", "chaos injections executed", sh.m.chaosRuns.Load)
 		reg.Counter(p+".sim_cycles", "simulated cycles consumed", sh.m.cycles.Load)
 		reg.Counter(p+".data_reads", "verified data block reads", sh.m.dataReads.Load)
@@ -163,6 +179,15 @@ func (s *Store) RegisterMetrics(reg *telemetry.Registry) {
 	reg.Counter("store.batches", "worker batch wakeups", func() uint64 {
 		return s.sum(func(m *shardMetrics) *atomic.Uint64 { return &m.batches })
 	})
+	reg.Counter("store.epochs", "group-commit epochs committed, all shards", func() uint64 {
+		return s.sum(func(m *shardMetrics) *atomic.Uint64 { return &m.epochs })
+	})
+	reg.Counter("store.epoch_ops", "writes committed through epochs, all shards", func() uint64 {
+		return s.sum(func(m *shardMetrics) *atomic.Uint64 { return &m.epochOps })
+	})
+	reg.Counter("store.epoch_fallbacks", "epoch commits degraded to per-op replay", func() uint64 {
+		return s.sum(func(m *shardMetrics) *atomic.Uint64 { return &m.epochFallbacks })
+	})
 	reg.Gauge("store.shards_serving", "shards currently in service", func() float64 {
 		var n float64
 		for _, sh := range s.shards {
@@ -172,6 +197,22 @@ func (s *Store) RegisterMetrics(reg *telemetry.Registry) {
 		}
 		return n
 	})
+}
+
+// epochSizeHistogram returns a race-free clone of the shard's
+// epoch-size distribution.
+func (sh *shard) epochSizeHistogram() *stats.Histogram {
+	sh.histMu.Lock()
+	defer sh.histMu.Unlock()
+	return sh.epochSizes.Clone()
+}
+
+// epochCycleHistogram returns a race-free clone of the shard's
+// epoch commit-latency distribution (256-cycle buckets).
+func (sh *shard) epochCycleHistogram() *stats.Histogram {
+	sh.histMu.Lock()
+	defer sh.histMu.Unlock()
+	return sh.epochCycles.Clone()
 }
 
 // TotalCycles returns the largest published shard clock — the store's

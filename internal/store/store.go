@@ -38,10 +38,12 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"amnt/internal/faults"
 	"amnt/internal/mee"
 	"amnt/internal/scm"
+	"amnt/internal/stats"
 )
 
 // MaxValueLen is the largest value a single key can hold: one SCM
@@ -89,6 +91,17 @@ type Config struct {
 	// BatchMax is the most requests a worker drains per wakeup.
 	// Default 16.
 	BatchMax int
+	// EpochMax is the most staged writes one group-commit integrity
+	// epoch holds before the worker commits it. 1 disables group
+	// commit entirely (every put runs the per-op write path); 0
+	// defaults to BatchMax. A single multi-put request is never split
+	// across epochs, so one oversized batch request may exceed the cap.
+	EpochMax int
+	// EpochWait is how long a worker with an under-full batch waits
+	// for more requests to join the epoch once at least one put is
+	// pending — the extra latency a put may pay to amortize the climb.
+	// 0 commits as soon as the queue runs dry.
+	EpochWait time.Duration
 	// CheckpointDir, when set, is where Checkpoint persists shard
 	// images and where Open looks for them; Close writes a final
 	// checkpoint there.
@@ -111,6 +124,9 @@ func (c Config) withDefaults() Config {
 	if c.BatchMax <= 0 {
 		c.BatchMax = 16
 	}
+	if c.EpochMax <= 0 {
+		c.EpochMax = c.BatchMax
+	}
 	return c
 }
 
@@ -119,41 +135,62 @@ type opKind int
 const (
 	opGet opKind = iota
 	opPut
+	opGetMulti
+	opPutMulti
 	opFlush
 	opCheckpoint
 	opRecover
 	opChaos
 )
 
-type request struct {
-	op    opKind
+// kvPair is one key's share of a multi-put, already resolved to its
+// shard-local block.
+type kvPair struct {
 	block uint64
-	value []byte // put payload, owned by the request
-	chaos *ChaosSpec
-	resp  chan response // buffered(1): the worker's send never blocks
+	value []byte
+}
+
+type request struct {
+	op     opKind
+	ctx    context.Context // caller's context; expired requests are nacked, not served
+	block  uint64
+	value  []byte   // put payload, owned by the request
+	blocks []uint64 // multi-get blocks
+	kvs    []kvPair // multi-put payload, owned by the request
+	chaos  *ChaosSpec
+	resp   chan response // buffered(1): the worker's send never blocks
 }
 
 type response struct {
-	value []byte
-	chaos *ChaosResult
-	err   error
+	value  []byte
+	values [][]byte // multi-get results, parallel to request.blocks
+	errs   []error  // per-entry multi-op results
+	chaos  *ChaosResult
+	err    error
 }
 
 // shard bundles everything one worker goroutine owns.
 type shard struct {
-	id       int
-	dev      *scm.Device
-	ctrl     *mee.Controller
-	inj      *faults.Injector
-	ch       chan request
-	done     chan struct{}
-	blocks   uint64 // data blocks this shard can hold
-	now      uint64 // simulated cycle clock, worker-owned
-	batchMax int
-	ckpt     string // checkpoint path, "" = none
-	failed   atomic.Bool
-	closeErr error // final flush/checkpoint error, read after done
-	m        shardMetrics
+	id        int
+	dev       *scm.Device
+	ctrl      *mee.Controller
+	inj       *faults.Injector
+	ch        chan request
+	done      chan struct{}
+	blocks    uint64 // data blocks this shard can hold
+	now       uint64 // simulated cycle clock, worker-owned
+	batchMax  int
+	epochMax  int
+	epochWait time.Duration
+	ckpt      string // checkpoint path, "" = none
+	failed    atomic.Bool
+	closeErr  error // final flush/checkpoint error, read after done
+	m         shardMetrics
+
+	// Epoch histograms, worker-written; readers clone under histMu.
+	histMu      sync.Mutex
+	epochSizes  *stats.Histogram // staged writes per committed epoch
+	epochCycles *stats.Histogram // commit latency, 256-cycle buckets
 }
 
 // Store is the concurrent front-end. All methods are safe for
@@ -184,13 +221,17 @@ func Open(cfg Config) (*Store, error) {
 		dev := scm.New(scm.Config{CapacityBytes: cfg.ShardMemBytes})
 		ctrl := mee.New(dev, cfg.MEE, policy)
 		sh := &shard{
-			id:       i,
-			dev:      dev,
-			ctrl:     ctrl,
-			ch:       make(chan request, cfg.QueueDepth),
-			done:     make(chan struct{}),
-			blocks:   cfg.ShardMemBytes / scm.BlockSize,
-			batchMax: cfg.BatchMax,
+			id:          i,
+			dev:         dev,
+			ctrl:        ctrl,
+			ch:          make(chan request, cfg.QueueDepth),
+			done:        make(chan struct{}),
+			blocks:      cfg.ShardMemBytes / scm.BlockSize,
+			batchMax:    cfg.BatchMax,
+			epochMax:    cfg.EpochMax,
+			epochWait:   cfg.EpochWait,
+			epochSizes:  stats.NewHistogram(),
+			epochCycles: stats.NewHistogram(),
 		}
 		if cfg.CheckpointDir != "" {
 			sh.ckpt = filepath.Join(cfg.CheckpointDir, fmt.Sprintf("shard-%03d.ckpt", i))
@@ -246,6 +287,7 @@ func (s *Store) submit(ctx context.Context, sh *shard, req request) (response, e
 	if sh.failed.Load() {
 		return response{}, ErrShardFailed
 	}
+	req.ctx = ctx
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -381,8 +423,9 @@ func (s *Store) Close(ctx context.Context) error {
 
 // run is the shard worker: it owns the controller. Requests are
 // drained in batches — one blocking receive, then up to batchMax-1
-// opportunistic ones — so bursty load amortizes the per-wakeup
-// bookkeeping and metrics publication.
+// opportunistic ones, then (when EpochWait is set and a put is
+// pending) a bounded wait for stragglers — so bursty load amortizes
+// both the per-wakeup bookkeeping and the group-commit climb.
 func (sh *shard) run() {
 	defer close(sh.done)
 	batch := make([]request, 0, sh.batchMax)
@@ -406,9 +449,24 @@ func (sh *shard) run() {
 				break fill
 			}
 		}
-		for _, r := range batch {
-			r.resp <- sh.serve(r)
+		if open && sh.epochWait > 0 && len(batch) < sh.batchMax && hasPut(batch) {
+			timer := time.NewTimer(sh.epochWait)
+		wait:
+			for len(batch) < sh.batchMax {
+				select {
+				case r, ok := <-sh.ch:
+					if !ok {
+						open = false
+						break wait
+					}
+					batch = append(batch, r)
+				case <-timer.C:
+					break wait
+				}
+			}
+			timer.Stop()
 		}
+		sh.serveBatch(batch)
 		sh.m.batches.Add(1)
 		sh.m.batchItems.Add(uint64(len(batch)))
 		sh.publish()
@@ -423,6 +481,205 @@ func (sh *shard) run() {
 	sh.publish()
 }
 
+// hasPut reports whether the batch carries at least one write — the
+// only requests worth delaying for a larger epoch.
+func hasPut(batch []request) bool {
+	for _, r := range batch {
+		if r.op == opPut || r.op == opPutMulti {
+			return true
+		}
+	}
+	return false
+}
+
+// stagedAck is one put-carrying request whose acknowledgment is
+// deferred until its epoch commits: the durability contract is that a
+// response is sent only once the write is as durable as a per-op
+// acknowledged write.
+type stagedAck struct {
+	req  request
+	errs []error // per-kv results for multi-puts, nil for single puts
+}
+
+// serveBatch executes one drained batch. Writes are staged into a
+// group-commit epoch and acknowledged together after it commits; reads
+// are served inline against the pre-epoch state (legal — the staged
+// writes are unacknowledged, so a concurrent reader may be ordered
+// before them); control operations (flush, checkpoint, recover,
+// chaos) force the open epoch to commit first so they observe and
+// persist exactly the acknowledged state.
+func (sh *shard) serveBatch(batch []request) {
+	var ep *mee.Epoch
+	var acks []stagedAck
+	commit := func() {
+		sh.commitStaged(ep, acks)
+		ep, acks = nil, nil
+	}
+	for _, r := range batch {
+		if r.ctx != nil && r.ctx.Err() != nil {
+			// The caller already gave up (deadline or cancel); never
+			// report an abandoned request as having succeeded.
+			r.resp <- response{err: r.ctx.Err()}
+			continue
+		}
+		if sh.failed.Load() {
+			r.resp <- response{err: ErrShardFailed}
+			continue
+		}
+		switch r.op {
+		case opPut, opPutMulti:
+			if sh.epochMax <= 1 {
+				r.resp <- sh.serve(r)
+				continue
+			}
+			if ep == nil {
+				ep = sh.ctrl.BeginEpoch(sh.now)
+			}
+			acks = append(acks, sh.stage(ep, r))
+			if ep.Len() >= sh.epochMax {
+				commit()
+			}
+		case opGet, opGetMulti:
+			r.resp <- sh.serve(r)
+		default:
+			commit()
+			r.resp <- sh.serve(r)
+		}
+	}
+	commit()
+}
+
+// stage buffers one put-carrying request into the open epoch.
+func (sh *shard) stage(ep *mee.Epoch, r request) stagedAck {
+	a := stagedAck{req: r}
+	var blk [scm.BlockSize]byte
+	if r.op == opPut {
+		sh.m.puts.Add(1)
+		packValue(&blk, r.value)
+		if err := ep.Put(r.block, blk[:]); err != nil {
+			sh.countErr(err)
+			a.errs = []error{err}
+		}
+		return a
+	}
+	a.errs = make([]error, len(r.kvs))
+	sh.m.puts.Add(uint64(len(r.kvs)))
+	for i, kv := range r.kvs {
+		packValue(&blk, kv.value)
+		if err := ep.Put(kv.block, blk[:]); err != nil {
+			sh.countErr(err)
+			a.errs[i] = err
+		}
+	}
+	return a
+}
+
+// commitStaged commits the open epoch and acknowledges every staged
+// request. On a commit error the worker degrades to per-op writes —
+// each staged write replays through WriteBlock individually, so one
+// poisoned request fails alone instead of nacking the whole batch.
+func (sh *shard) commitStaged(ep *mee.Epoch, acks []stagedAck) {
+	if ep == nil {
+		return
+	}
+	staged := ep.Len()
+	if staged == 0 {
+		ep.Abort()
+		for _, a := range acks {
+			sh.ackStaged(a)
+		}
+		return
+	}
+	res, err := ep.Commit()
+	if err == nil {
+		sh.now += res.Cycles
+		sh.m.epochs.Add(1)
+		sh.m.epochOps.Add(uint64(staged))
+		sh.histMu.Lock()
+		sh.epochSizes.Observe(uint64(staged))
+		sh.epochCycles.Observe(res.Cycles >> 8)
+		sh.histMu.Unlock()
+		for _, a := range acks {
+			sh.ackStaged(a)
+		}
+		return
+	}
+	sh.m.epochFallbacks.Add(1)
+	sh.countErr(err)
+	for _, a := range acks {
+		switch a.req.op {
+		case opPut:
+			if a.errs != nil { // rejected at staging
+				a.req.resp <- response{err: a.errs[0]}
+				continue
+			}
+			a.req.resp <- response{err: sh.putBlock(a.req.block, a.req.value)}
+		case opPutMulti:
+			for i, kv := range a.req.kvs {
+				if a.errs[i] != nil {
+					continue
+				}
+				a.errs[i] = sh.putBlock(kv.block, kv.value)
+			}
+			a.req.resp <- response{errs: a.errs}
+		}
+	}
+}
+
+// ackStaged sends the post-commit response for one staged request.
+func (sh *shard) ackStaged(a stagedAck) {
+	if a.req.op == opPut {
+		var err error
+		if a.errs != nil {
+			err = a.errs[0]
+		}
+		a.req.resp <- response{err: err}
+		return
+	}
+	a.req.resp <- response{errs: a.errs}
+}
+
+// packValue frames a value into its 64 B block image (length prefix +
+// payload).
+func packValue(blk *[scm.BlockSize]byte, value []byte) {
+	blk[0] = byte(len(value) + 1)
+	copy(blk[1:], value)
+	for i := len(value) + 1; i < scm.BlockSize; i++ {
+		blk[i] = 0
+	}
+}
+
+// putBlock runs the per-op secure write path for one framed value.
+func (sh *shard) putBlock(block uint64, value []byte) error {
+	var blk [scm.BlockSize]byte
+	packValue(&blk, value)
+	cycles, err := sh.ctrl.WriteBlock(sh.now, block, blk[:])
+	sh.now += cycles
+	if err != nil {
+		sh.countErr(err)
+	}
+	return err
+}
+
+// getBlock runs the verified read path and unframes the value.
+func (sh *shard) getBlock(block uint64) ([]byte, error) {
+	var blk [scm.BlockSize]byte
+	cycles, err := sh.ctrl.ReadBlock(sh.now, block, blk[:])
+	sh.now += cycles
+	if err != nil {
+		sh.countErr(err)
+		return nil, err
+	}
+	n := int(blk[0])
+	if n == 0 {
+		sh.m.misses.Add(1)
+		return nil, ErrNotFound
+	}
+	v := make([]byte, n-1)
+	copy(v, blk[1:n])
+	return v, nil
+}
+
 // serve executes one request against the worker-owned controller.
 func (sh *shard) serve(r request) response {
 	if sh.failed.Load() {
@@ -430,33 +687,27 @@ func (sh *shard) serve(r request) response {
 	}
 	switch r.op {
 	case opGet:
-		var blk [scm.BlockSize]byte
-		cycles, err := sh.ctrl.ReadBlock(sh.now, r.block, blk[:])
-		sh.now += cycles
 		sh.m.gets.Add(1)
-		if err != nil {
-			sh.countErr(err)
-			return response{err: err}
+		v, err := sh.getBlock(r.block)
+		return response{value: v, err: err}
+	case opGetMulti:
+		values := make([][]byte, len(r.blocks))
+		errs := make([]error, len(r.blocks))
+		sh.m.gets.Add(uint64(len(r.blocks)))
+		for i, b := range r.blocks {
+			values[i], errs[i] = sh.getBlock(b)
 		}
-		n := int(blk[0])
-		if n == 0 {
-			sh.m.misses.Add(1)
-			return response{err: ErrNotFound}
-		}
-		v := make([]byte, n-1)
-		copy(v, blk[1:n])
-		return response{value: v}
+		return response{values: values, errs: errs}
 	case opPut:
-		var blk [scm.BlockSize]byte
-		blk[0] = byte(len(r.value) + 1)
-		copy(blk[1:], r.value)
-		cycles, err := sh.ctrl.WriteBlock(sh.now, r.block, blk[:])
-		sh.now += cycles
 		sh.m.puts.Add(1)
-		if err != nil {
-			sh.countErr(err)
+		return response{err: sh.putBlock(r.block, r.value)}
+	case opPutMulti:
+		errs := make([]error, len(r.kvs))
+		sh.m.puts.Add(uint64(len(r.kvs)))
+		for i, kv := range r.kvs {
+			errs[i] = sh.putBlock(kv.block, kv.value)
 		}
-		return response{err: err}
+		return response{errs: errs}
 	case opFlush:
 		sh.now += sh.ctrl.Flush(sh.now)
 		sh.m.flushes.Add(1)

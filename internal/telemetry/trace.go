@@ -30,6 +30,10 @@ const (
 	// nanoseconds the recovery took — informational only; all
 	// simulated fields are identical at any pool width).
 	EvRecovery = "recovery"
+	// EvEpochCommit: a group-commit integrity epoch committed (Count is
+	// staged writes, From distinct data blocks written, To distinct
+	// tree nodes rehashed, Cycles the commit's simulated latency).
+	EvEpochCommit = "epoch_commit"
 	// EvFault: the fault-injection harness applied one fault to the
 	// device (Cycle is the crash cycle, Addr the block index, Note
 	// "protocol/kind/region").
