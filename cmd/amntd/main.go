@@ -35,17 +35,20 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	_ "amnt/internal/core" // register the AMNT protocol family
 	"amnt/internal/store"
 	"amnt/internal/telemetry"
+	"amnt/internal/telemetry/span"
 )
 
 func main() {
@@ -63,6 +66,9 @@ func main() {
 		reqTimeout = flag.Duration("req-timeout", 2*time.Second, "per-request serving deadline")
 		sample     = flag.Duration("sample", 250*time.Millisecond, "telemetry sampling period")
 		recWorkers = flag.Int("recovery-workers", 1, "rebuild worker-pool width for shard recovery (bit-identical results at any width)")
+		spanSample = flag.Int("span-sample", 1, "record one latency-attribution span per N requests (1 = every request, 0 = spans off)")
+		spanRing   = flag.Int("span-ring", 4096, "finished-span ring buffer size (/v1/spans depth)")
+		slowThresh = flag.Duration("slow-threshold", 250*time.Millisecond, "log any request slower than this with its full phase breakdown (0 = off)")
 	)
 	flag.Parse()
 
@@ -84,12 +90,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	logger := slog.New(slog.NewTextHandler(os.Stdout, nil))
+	rec := span.New(span.Config{
+		SampleEvery:   *spanSample,
+		RingSize:      *spanRing,
+		Shards:        *shards,
+		SlowThreshold: *slowThresh,
+		Logger:        logger,
+	})
+	tr := newTracer(rec)
+
 	reg := telemetry.NewRegistry()
 	st.RegisterMetrics(reg)
+	rec.RegisterMetrics(reg)
 	srv, err := telemetry.Serve(*addr, telemetry.ServeOptions{
 		Registry: reg,
 		Progress: func() any { return st.Stats() },
-		Register: func(mux *http.ServeMux) { mount(mux, st, *reqTimeout) },
+		Register: func(mux *http.ServeMux) { mount(mux, st, *reqTimeout, tr) },
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "amntd:", err)
@@ -134,10 +151,59 @@ func main() {
 	fmt.Println("amntd: store drained and checkpointed")
 }
 
+// tracer owns the serving path's request tracing: the span recorder,
+// one RED op per endpoint, and X-Request-Id minting/propagation.
+type tracer struct {
+	rec  *span.Recorder
+	boot int64 // request-id namespace, one per process
+	seq  atomic.Uint64
+
+	kvGet, kvPut, batch               *span.Op
+	flush, checkpoint, recover, chaos *span.Op
+}
+
+// newTracer mints every endpoint op up front so RegisterMetrics sees
+// the full RED column set before serving starts.
+func newTracer(rec *span.Recorder) *tracer {
+	return &tracer{
+		rec:        rec,
+		boot:       time.Now().UnixNano(),
+		kvGet:      rec.Op("kv_get"),
+		kvPut:      rec.Op("kv_put"),
+		batch:      rec.Op("batch"),
+		flush:      rec.Op("flush"),
+		checkpoint: rec.Op("checkpoint"),
+		recover:    rec.Op("recover"),
+		chaos:      rec.Op("chaos"),
+	}
+}
+
+// begin opens one traced request: honors a client-supplied
+// X-Request-Id (minting one otherwise), echoes it on the response,
+// and admits the request through the op's sampling gate. The span is
+// nil when unsampled — callers stamp it regardless (nil-safe).
+func (t *tracer) begin(op *span.Op, w http.ResponseWriter, r *http.Request) (*span.Span, time.Time) {
+	id := r.Header.Get("X-Request-Id")
+	if id == "" {
+		id = fmt.Sprintf("amnt-%x-%x", t.boot, t.seq.Add(1))
+	}
+	w.Header().Set("X-Request-Id", id)
+	return op.Start(id), time.Now()
+}
+
+// redErr filters per-key outcomes out of the RED error counters: a
+// miss is a valid answer, not a serving failure.
+func redErr(err error) error {
+	if errors.Is(err, store.ErrNotFound) {
+		return nil
+	}
+	return err
+}
+
 // mount attaches the store routes to the telemetry mux: the
 // canonical surface lives under /v1/, and every pre-versioning path
 // stays mounted as a deprecated alias of its /v1 successor.
-func mount(mux *http.ServeMux, st *store.Store, reqTimeout time.Duration) {
+func mount(mux *http.ServeMux, st *store.Store, reqTimeout time.Duration, tr *tracer) {
 	kv := func(prefix string) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
 			key, err := strconv.ParseUint(strings.TrimPrefix(r.URL.Path, prefix), 10, 64)
@@ -149,32 +215,45 @@ func mount(mux *http.ServeMux, st *store.Store, reqTimeout time.Duration) {
 			defer cancel()
 			switch r.Method {
 			case http.MethodGet:
-				v, err := st.Get(ctx, key)
+				sp, t0 := tr.begin(tr.kvGet, w, r)
+				v, err := st.Get(span.NewContext(ctx, sp), key)
+				tr.kvGet.Done(sp, t0, redErr(err))
 				if err != nil {
 					httpError(w, statusFor(err), err)
 					return
 				}
-				writeJSON(w, map[string]any{
+				resp := map[string]any{
 					"key":       key,
 					"value_b64": base64.StdEncoding.EncodeToString(v),
-				})
+				}
+				if sp != nil {
+					resp["timing"] = sp.Timing()
+				}
+				writeJSON(w, resp)
 			case http.MethodPut, http.MethodPost:
 				body, err := io.ReadAll(io.LimitReader(r.Body, store.MaxValueLen+1))
 				if err != nil {
 					httpError(w, http.StatusBadRequest, err)
 					return
 				}
-				if err := st.Put(ctx, key, body); err != nil {
+				sp, t0 := tr.begin(tr.kvPut, w, r)
+				err = st.Put(span.NewContext(ctx, sp), key, body)
+				tr.kvPut.Done(sp, t0, err)
+				if err != nil {
 					httpError(w, statusFor(err), err)
 					return
 				}
-				writeJSON(w, map[string]any{"ok": true, "key": key})
+				resp := map[string]any{"ok": true, "key": key}
+				if sp != nil {
+					resp["timing"] = sp.Timing()
+				}
+				writeJSON(w, resp)
 			default:
 				httpError(w, http.StatusMethodNotAllowed, errors.New("use GET or PUT"))
 			}
 		}
 	}
-	control := func(name string, fn func(context.Context) error) http.HandlerFunc {
+	control := func(name string, op *span.Op, fn func(context.Context) error) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
 			if r.Method != http.MethodPost {
 				httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
@@ -184,11 +263,18 @@ func mount(mux *http.ServeMux, st *store.Store, reqTimeout time.Duration) {
 			// deadline than the data path.
 			ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
 			defer cancel()
-			if err := fn(ctx); err != nil {
+			sp, t0 := tr.begin(op, w, r)
+			err := fn(span.NewContext(ctx, sp))
+			op.Done(sp, t0, err)
+			if err != nil {
 				httpError(w, statusFor(err), err)
 				return
 			}
-			writeJSON(w, map[string]any{"ok": true, "op": name})
+			resp := map[string]any{"ok": true, "op": name}
+			if sp != nil {
+				resp["timing"] = sp.Timing()
+			}
+			writeJSON(w, resp)
 		}
 	}
 	chaos := func(w http.ResponseWriter, r *http.Request) {
@@ -219,7 +305,9 @@ func mount(mux *http.ServeMux, st *store.Store, reqTimeout time.Duration) {
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
 		defer cancel()
-		res, err := st.Chaos(ctx, spec)
+		sp, t0 := tr.begin(tr.chaos, w, r)
+		res, err := st.Chaos(span.NewContext(ctx, sp), spec)
+		tr.chaos.Done(sp, t0, err)
 		if err != nil {
 			httpError(w, statusFor(err), err)
 			return
@@ -229,14 +317,28 @@ func mount(mux *http.ServeMux, st *store.Store, reqTimeout time.Duration) {
 	stats := func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, st.Stats())
 	}
+	spans := func(w http.ResponseWriter, r *http.Request) {
+		n := 100
+		if v := r.URL.Query().Get("n"); v != "" {
+			p, err := strconv.Atoi(v)
+			if err != nil || p <= 0 {
+				httpError(w, http.StatusBadRequest, errors.New("bad n"))
+				return
+			}
+			n = p
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = tr.rec.WriteJSONL(w, n)
+	}
 
 	mux.HandleFunc("/v1/kv/", kv("/v1/kv/"))
-	mux.HandleFunc("/v1/batch", batchHandler(st, reqTimeout))
-	mux.HandleFunc("/v1/flush", control("flush", st.Flush))
-	mux.HandleFunc("/v1/checkpoint", control("checkpoint", st.Checkpoint))
-	mux.HandleFunc("/v1/recover", control("recover", st.Recover))
+	mux.HandleFunc("/v1/batch", batchHandler(st, reqTimeout, tr))
+	mux.HandleFunc("/v1/flush", control("flush", tr.flush, st.Flush))
+	mux.HandleFunc("/v1/checkpoint", control("checkpoint", tr.checkpoint, st.Checkpoint))
+	mux.HandleFunc("/v1/recover", control("recover", tr.recover, st.Recover))
 	mux.HandleFunc("/v1/chaos", chaos)
 	mux.HandleFunc("/v1/store/stats", stats)
+	mux.HandleFunc("/v1/spans", spans)
 
 	// Pre-versioning aliases. Answer identically but advertise the
 	// successor route so clients can migrate before removal.
@@ -248,9 +350,9 @@ func mount(mux *http.ServeMux, st *store.Store, reqTimeout time.Duration) {
 		})
 	}
 	alias("/kv/", "/v1/kv/", kv("/kv/"))
-	alias("/flush", "/v1/flush", control("flush", st.Flush))
-	alias("/checkpoint", "/v1/checkpoint", control("checkpoint", st.Checkpoint))
-	alias("/recover", "/v1/recover", control("recover", st.Recover))
+	alias("/flush", "/v1/flush", control("flush", tr.flush, st.Flush))
+	alias("/checkpoint", "/v1/checkpoint", control("checkpoint", tr.checkpoint, st.Checkpoint))
+	alias("/recover", "/v1/recover", control("recover", tr.recover, st.Recover))
 	alias("/chaos", "/v1/chaos", chaos)
 	alias("/store/stats", "/v1/store/stats", stats)
 }
@@ -279,7 +381,7 @@ type batchResult struct {
 // multi-op request per shard and the writes commit as group-commit
 // epochs. Per-key failures are reported in place; the HTTP status
 // stays 200 unless the request itself is malformed.
-func batchHandler(st *store.Store, reqTimeout time.Duration) http.HandlerFunc {
+func batchHandler(st *store.Store, reqTimeout time.Duration, tr *tracer) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
@@ -290,7 +392,8 @@ func batchHandler(st *store.Store, reqTimeout time.Duration) http.HandlerFunc {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad batch body: %w", err))
 			return
 		}
-		ctx, cancel := context.WithTimeout(r.Context(), reqTimeout)
+		sp, t0 := tr.begin(tr.batch, w, r)
+		ctx, cancel := context.WithTimeout(span.NewContext(r.Context(), sp), reqTimeout)
 		defer cancel()
 
 		putRes := make([]batchResult, len(req.Puts))
@@ -306,8 +409,12 @@ func batchHandler(st *store.Store, reqTimeout time.Duration) http.HandlerFunc {
 			kvs = append(kvs, store.KV{Key: p.Key, Value: v})
 			kvIdx = append(kvIdx, i)
 		}
+		var firstErr error
 		for j, err := range st.PutBatch(ctx, kvs) {
 			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
 				putRes[kvIdx[j]].Error = err.Error()
 			}
 		}
@@ -317,12 +424,20 @@ func batchHandler(st *store.Store, reqTimeout time.Duration) http.HandlerFunc {
 		for i, key := range req.Gets {
 			getRes[i].Key = key
 			if errs[i] != nil {
+				if firstErr == nil {
+					firstErr = redErr(errs[i])
+				}
 				getRes[i].Error = errs[i].Error()
 				continue
 			}
 			getRes[i].ValueB64 = base64.StdEncoding.EncodeToString(values[i])
 		}
-		writeJSON(w, map[string]any{"puts": putRes, "gets": getRes})
+		tr.batch.Done(sp, t0, firstErr)
+		resp := map[string]any{"puts": putRes, "gets": getRes}
+		if sp != nil {
+			resp["timing"] = sp.Timing()
+		}
+		writeJSON(w, resp)
 	}
 }
 

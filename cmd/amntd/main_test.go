@@ -6,6 +6,7 @@ import (
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -14,6 +15,7 @@ import (
 
 	_ "amnt/internal/core"
 	"amnt/internal/store"
+	"amnt/internal/telemetry/span"
 )
 
 func testServer(t *testing.T) (*httptest.Server, *store.Store) {
@@ -30,7 +32,8 @@ func testServer(t *testing.T) (*httptest.Server, *store.Store) {
 		t.Fatalf("open store: %v", err)
 	}
 	mux := http.NewServeMux()
-	mount(mux, st, 2*time.Second)
+	tr := newTracer(span.New(span.Config{SampleEvery: 1, Shards: 2}))
+	mount(mux, st, 2*time.Second, tr)
 	srv := httptest.NewServer(mux)
 	t.Cleanup(func() {
 		srv.Close()
@@ -237,5 +240,105 @@ func TestServerStats(t *testing.T) {
 	}
 	if epochs == 0 || ops != 32 {
 		t.Fatalf("stats report epochs=%d epoch_ops=%d, want all 32 writes epoch-committed", epochs, ops)
+	}
+}
+
+// TestServerRequestTracing pins the request-id and timing contract:
+// a client-supplied X-Request-Id is echoed, a missing one is minted,
+// and sampled responses embed the server-side phase breakdown.
+func TestServerRequestTracing(t *testing.T) {
+	srv, _ := testServer(t)
+
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/kv/5", strings.NewReader("traced"))
+	req.Header.Set("X-Request-Id", "client-abc")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	var put struct {
+		Timing *span.Timing `json:"timing"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&put); err != nil {
+		t.Fatalf("decode put: %v", err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "client-abc" {
+		t.Fatalf("X-Request-Id = %q, want client-abc (propagated)", got)
+	}
+	if put.Timing == nil {
+		t.Fatal("sampled put response missing timing")
+	}
+	if put.Timing.RequestID != "client-abc" {
+		t.Fatalf("timing request_id = %q, want client-abc", put.Timing.RequestID)
+	}
+	if put.Timing.TotalUs <= 0 {
+		t.Fatalf("timing total_us = %d, want > 0", put.Timing.TotalUs)
+	}
+	if put.Timing.QueueWaitUs+put.Timing.EpochStageUs+put.Timing.CommitClimbUs == 0 {
+		t.Fatalf("timing has no serving-path phases: %+v", put.Timing)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/kv/5")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); !strings.HasPrefix(got, "amnt-") {
+		t.Fatalf("minted X-Request-Id = %q, want amnt- prefix", got)
+	}
+}
+
+// TestServerSpansEndpoint pins /v1/spans: JSONL, newest spans, the
+// full phase field set.
+func TestServerSpansEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+
+	for i := 0; i < 3; i++ {
+		req, _ := http.NewRequest(http.MethodPut, fmt.Sprintf("%s/v1/kv/%d", srv.URL, i), strings.NewReader("x"))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/spans?n=2")
+	if err != nil {
+		t.Fatalf("spans: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("spans returned %d lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var rec struct {
+			RequestID   string `json:"request_id"`
+			Op          string `json:"op"`
+			QueueWaitUs *int64 `json:"queue_wait_us"`
+			TotalUs     int64  `json:"total_us"`
+			StartUnixUs int64  `json:"start_unix_us"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad jsonl line %q: %v", line, err)
+		}
+		if rec.Op != "kv_put" || rec.QueueWaitUs == nil || rec.StartUnixUs == 0 {
+			t.Fatalf("incomplete span record: %s", line)
+		}
+	}
+
+	if resp, err := http.Get(srv.URL + "/v1/spans?n=bogus"); err != nil {
+		t.Fatalf("bad n: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad n status %d, want 400", resp.StatusCode)
+		}
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"amnt/internal/stats"
+	"amnt/internal/telemetry/span"
 	"amnt/internal/workload"
 )
 
@@ -102,7 +103,12 @@ func main() {
 		Workload: spec.Name, Clients: *clients, Batch: *batchN, ValueLen: *valueLen,
 		Keyspace: *keyspace, DurationSec: wall.Seconds(),
 	}
-	getHist, putHist := stats.NewHistogram(), stats.NewHistogram()
+	getHist, putHist, errHist := stats.NewHistogram(), stats.NewHistogram(), stats.NewHistogram()
+	srvTotal := stats.NewHistogram()
+	var phaseHist [span.NumPhases]*stats.Histogram
+	for p := range phaseHist {
+		phaseHist[p] = stats.NewHistogram()
+	}
 	for _, r := range results {
 		merged.Gets += r.gets
 		merged.Puts += r.puts
@@ -110,8 +116,14 @@ func main() {
 		merged.Overloads += r.overloads
 		merged.Corruptions += r.corruptions
 		merged.Errors += r.errors
+		merged.TimingSamples += r.timings
 		getHist.Merge(r.getLat)
 		putHist.Merge(r.putLat)
+		errHist.Merge(r.errLat)
+		srvTotal.Merge(r.srvTotal)
+		for p := range phaseHist {
+			phaseHist[p].Merge(r.phaseLat[p])
+		}
 	}
 	total := merged.Gets + merged.Puts
 	if wall > 0 {
@@ -119,6 +131,16 @@ func main() {
 	}
 	merged.GetLat = quantiles(getHist)
 	merged.PutLat = quantiles(putHist)
+	merged.ErrLat = quantiles(errHist)
+	if merged.TimingSamples > 0 {
+		merged.PhaseLat = make(map[string]latQuantiles)
+		for p := span.Phase(0); p < span.NumPhases; p++ {
+			if !phaseHist[p].Empty() {
+				merged.PhaseLat[p.String()] = quantiles(phaseHist[p])
+			}
+		}
+		merged.PhaseLat["total"] = quantiles(srvTotal)
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -131,8 +153,21 @@ func main() {
 			merged.GetLat.P50, merged.GetLat.P99, merged.GetLat.Max)
 		fmt.Printf("put latency µs: p50=%d p99=%d max=%d\n",
 			merged.PutLat.P50, merged.PutLat.P99, merged.PutLat.Max)
+		if !errHist.Empty() {
+			fmt.Printf("error latency µs: p50=%d p99=%d max=%d\n",
+				merged.ErrLat.P50, merged.ErrLat.P99, merged.ErrLat.Max)
+		}
 		fmt.Printf("not-found=%d overloaded=%d errors=%d corruptions=%d\n",
 			merged.NotFound, merged.Overloads, merged.Errors, merged.Corruptions)
+		if merged.TimingSamples > 0 {
+			fmt.Printf("server phase breakdown (p50 µs over %d samples):", merged.TimingSamples)
+			for p := span.Phase(0); p < span.NumPhases; p++ {
+				if q, ok := merged.PhaseLat[p.String()]; ok {
+					fmt.Printf(" %s=%d", p, q.P50)
+				}
+			}
+			fmt.Printf(" total=%d\n", merged.PhaseLat["total"].P50)
+		}
 	}
 	if merged.Corruptions > 0 {
 		fmt.Fprintln(os.Stderr, "amntload: CORRUPTION observed")
@@ -172,11 +207,53 @@ type report struct {
 	Corruptions uint64       `json:"corruptions"`
 	GetLat      latQuantiles `json:"get_latency"`
 	PutLat      latQuantiles `json:"put_latency"`
+	// ErrLat holds latencies of overloaded and failed requests; they
+	// are excluded from get_latency/put_latency.
+	ErrLat latQuantiles `json:"errors_latency"`
+	// TimingSamples counts responses that carried a server-side phase
+	// breakdown; PhaseLat aggregates them per span phase (plus the
+	// server-observed "total"), omitting phases with no samples.
+	TimingSamples uint64                  `json:"timing_samples"`
+	PhaseLat      map[string]latQuantiles `json:"phase_latency,omitempty"`
 }
 
 type clientResult struct {
 	gets, puts, notFound, overloads, corruptions, errors uint64
-	getLat, putLat                                       *stats.Histogram
+	// getLat/putLat hold successful request latencies only (a miss is
+	// a success); overloaded and failed requests land in errLat so
+	// backpressure spikes cannot skew the service-time quantiles.
+	getLat, putLat, errLat *stats.Histogram
+
+	// Server-side phase breakdown, aggregated from the `timing` field
+	// amntd embeds in sampled responses: one histogram per span phase
+	// plus the server-observed total.
+	timings  uint64
+	phaseLat [span.NumPhases]*stats.Histogram
+	srvTotal *stats.Histogram
+}
+
+// observeTiming folds one server-reported phase breakdown into the
+// client's aggregates. Phases the request never entered report 0 and
+// contribute no sample (the zero-sample contract keeps their
+// quantiles honest).
+func (res *clientResult) observeTiming(t *span.Timing) {
+	if t == nil {
+		return
+	}
+	res.timings++
+	for p, us := range [span.NumPhases]int64{
+		span.QueueWait:     t.QueueWaitUs,
+		span.EpochStage:    t.EpochStageUs,
+		span.CommitClimb:   t.CommitClimbUs,
+		span.Persist:       t.PersistUs,
+		span.EpochFallback: t.EpochFallbackUs,
+		span.Ack:           t.AckUs,
+	} {
+		if us > 0 {
+			res.phaseLat[p].Observe(uint64(us))
+		}
+	}
+	res.srvTotal.Observe(uint64(t.TotalUs))
 }
 
 // valueFor derives a key's canonical value: the key stamped little-
@@ -193,7 +270,13 @@ func valueFor(key uint64, n int) []byte {
 }
 
 func runClient(addr string, trace *workload.Trace, keyspace uint64, valueLen int, batch int) clientResult {
-	res := clientResult{getLat: stats.NewHistogram(), putLat: stats.NewHistogram()}
+	res := clientResult{
+		getLat: stats.NewHistogram(), putLat: stats.NewHistogram(),
+		errLat: stats.NewHistogram(), srvTotal: stats.NewHistogram(),
+	}
+	for p := range res.phaseLat {
+		res.phaseLat[p] = stats.NewHistogram()
+	}
 	httpc := &http.Client{Timeout: 10 * time.Second}
 	if batch > 1 {
 		runBatched(addr, trace, keyspace, valueLen, batch, httpc, &res)
@@ -212,51 +295,68 @@ func runClient(addr string, trace *workload.Trace, keyspace uint64, valueLen int
 			resp, err := httpc.Do(req)
 			us := uint64(time.Since(t0).Microseconds())
 			res.puts++
-			res.putLat.Observe(us)
 			if err != nil {
 				res.errors++
+				res.errLat.Observe(us)
 				continue
 			}
-			io.Copy(io.Discard, resp.Body)
+			body, _ := io.ReadAll(resp.Body)
 			resp.Body.Close()
 			switch {
 			case resp.StatusCode == http.StatusServiceUnavailable:
 				res.overloads++
+				res.errLat.Observe(us)
 			case resp.StatusCode/100 != 2:
 				res.errors++
+				res.errLat.Observe(us)
+			default:
+				res.putLat.Observe(us)
+				var out struct {
+					Timing *span.Timing `json:"timing"`
+				}
+				if json.Unmarshal(body, &out) == nil {
+					res.observeTiming(out.Timing)
+				}
 			}
 			continue
 		}
 		resp, err := httpc.Get(url)
 		us := uint64(time.Since(t0).Microseconds())
 		res.gets++
-		res.getLat.Observe(us)
 		if err != nil {
 			res.errors++
+			res.errLat.Observe(us)
 			continue
 		}
 		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		switch resp.StatusCode {
 		case http.StatusOK:
+			res.getLat.Observe(us)
 			var out struct {
-				Key      uint64 `json:"key"`
-				ValueB64 string `json:"value_b64"`
+				Key      uint64       `json:"key"`
+				ValueB64 string       `json:"value_b64"`
+				Timing   *span.Timing `json:"timing"`
 			}
 			if err := json.Unmarshal(body, &out); err != nil {
 				res.errors++
 				continue
 			}
+			res.observeTiming(out.Timing)
 			v, err := base64.StdEncoding.DecodeString(out.ValueB64)
 			if err != nil || !bytes.Equal(v, valueFor(key, len(v))) {
 				res.corruptions++
 			}
 		case http.StatusNotFound:
+			// A miss is a valid answer: success latency, not error.
 			res.notFound++
+			res.getLat.Observe(us)
 		case http.StatusServiceUnavailable:
 			res.overloads++
+			res.errLat.Observe(us)
 		default:
 			res.errors++
+			res.errLat.Observe(us)
 		}
 	}
 	return res
@@ -284,15 +384,17 @@ func runBatched(addr string, trace *workload.Trace, keyspace uint64, valueLen in
 		us := uint64(time.Since(t0).Microseconds())
 		res.puts += uint64(len(puts))
 		res.gets += uint64(len(gets))
-		for range puts {
-			res.putLat.Observe(us)
-		}
-		for range gets {
-			res.getLat.Observe(us)
-		}
 		defer func() { puts, gets = puts[:0], gets[:0] }()
+		// Every op in the group is charged the batch round-trip
+		// latency; a failed round trip charges them all to errLat.
+		observeAll := func(h *stats.Histogram, n int) {
+			for i := 0; i < n; i++ {
+				h.Observe(us)
+			}
+		}
 		if err != nil {
 			res.errors += uint64(len(puts) + len(gets))
+			observeAll(res.errLat, len(puts)+len(gets))
 			return
 		}
 		raw, _ := io.ReadAll(resp.Body)
@@ -303,16 +405,21 @@ func runBatched(addr string, trace *workload.Trace, keyspace uint64, valueLen in
 			} else {
 				res.errors += uint64(len(puts) + len(gets))
 			}
+			observeAll(res.errLat, len(puts)+len(gets))
 			return
 		}
+		observeAll(res.putLat, len(puts))
+		observeAll(res.getLat, len(gets))
 		var out struct {
-			Puts []batchOp `json:"puts"`
-			Gets []batchOp `json:"gets"`
+			Puts   []batchOp    `json:"puts"`
+			Gets   []batchOp    `json:"gets"`
+			Timing *span.Timing `json:"timing"`
 		}
 		if err := json.Unmarshal(raw, &out); err != nil {
 			res.errors += uint64(len(puts) + len(gets))
 			return
 		}
+		res.observeTiming(out.Timing)
 		classify := func(msg string) {
 			switch {
 			case strings.Contains(msg, "queue full"):

@@ -261,6 +261,10 @@ type RebuildOptions struct {
 	// Any value yields a bit-identical RebuildResult and identical
 	// device statistics — only wall-clock time changes.
 	Workers int
+	// Progress, when non-nil, receives a live leaves-rehashed
+	// watermark as the rebuild runs (read concurrently by telemetry;
+	// never affects the result).
+	Progress *Progress
 }
 
 // parallelMinSource is the minimum number of occupied source nodes
@@ -354,6 +358,8 @@ func RebuildAboveWith(dev *scm.Device, e *cme.Engine, g Geometry, boundary int, 
 // parallel engine when the options ask for it.
 func rebuildFrom(dev *scm.Device, e *cme.Engine, g Geometry, src source, idxs []uint64, rootLevel int, rootIdx uint64, opts RebuildOptions) RebuildResult {
 	zero := ZeroDigests(e, g)
+	opts.Progress.begin(uint64(len(idxs)))
+	defer opts.Progress.end()
 	if opts.Workers > 1 && src.level > rootLevel && len(idxs) >= parallelMinSource {
 		return rebuildParallel(dev, e, g, zero, src, idxs, rootLevel, rootIdx, opts)
 	}
@@ -365,6 +371,7 @@ func rebuildFrom(dev *scm.Device, e *cme.Engine, g Geometry, src source, idxs []
 		res.Cycles += dev.Read(src.region, src.flatOff+idx, buf[:])
 		res.CounterReads++
 		digs[i] = Hash(e, src.level, buf[:])
+		opts.Progress.add(1)
 	}
 	idxs, digs = climb(e, g, zero, src.level, rootLevel, idxs, digs,
 		persistEmitter(dev, g, rootLevel, rootIdx, opts.Persist, &res))
@@ -526,6 +533,7 @@ func rebuildParallel(dev *scm.Device, e *cme.Engine, g Geometry, zero []uint64, 
 					dev.PeekInto(src.region, src.flatOff+idx, buf[:])
 					cDigs[i] = Hash(e, src.level, buf[:])
 				}
+				opts.Progress.add(uint64(len(cIdxs)))
 				out := &outs[t]
 				_, cDigs = climb(e, g, zero, src.level, fanIn, cIdxs, cDigs,
 					func(level int, idx uint64, node *[NodeSize]byte) {

@@ -3,6 +3,7 @@ package mee
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"amnt/internal/bmt"
 	"amnt/internal/counters"
@@ -60,6 +61,12 @@ type EpochResult struct {
 	TreeNodes int
 	// Cycles is the simulated latency of the whole commit.
 	Cycles uint64
+	// ClimbNs and PersistNs split the commit's host wall-clock time
+	// for latency attribution: PersistNs covers the data-block device
+	// write phase (encrypt + post + MAC), ClimbNs everything else
+	// (counter accumulation, hashing, the tree climb). Telemetry only —
+	// never part of simulated results, and zero when not measured.
+	ClimbNs, PersistNs int64
 }
 
 // BeginEpoch starts an empty epoch at simulated time now. The epoch
@@ -151,15 +158,18 @@ func (e *Epoch) Commit() (EpochResult, error) {
 func (c *Controller) commitEpoch(now uint64, ops []epochOp) (EpochResult, error) {
 	g := c.geo
 	res := EpochResult{Ops: len(ops)}
+	wallStart := time.Now()
 	if len(ops) == 1 {
 		// A one-write epoch is exactly one per-op write (the property
 		// the equivalence test pins); skip the dedup bookkeeping.
 		cycles, err := c.writeBlock(now, ops[0].block, ops[0].value[:])
 		res.Blocks, res.Counters, res.TreeNodes = 1, 1, g.Levels-2
 		res.Cycles = cycles
+		res.ClimbNs = time.Since(wallStart).Nanoseconds()
 		return res, err
 	}
 	var cycles uint64
+	var persistNs int64
 
 	cur := make(map[uint64]*counters.Block)      // accumulated counter state
 	devCtr := make(map[uint64]counters.Block)    // counter state device data reflects
@@ -232,6 +242,7 @@ func (c *Controller) commitEpoch(now uint64, ops []epochOp) (EpochResult, error)
 
 	// Phase 2: one device write per distinct block, final value under
 	// the final counter (in staged order of the last overwrite).
+	persistStart := time.Now()
 	for i := range ops {
 		b := ops[i].block
 		if lastWriter[b] != i {
@@ -255,6 +266,7 @@ func (c *Controller) commitEpoch(now uint64, ops []epochOp) (EpochResult, error)
 			cycles += c.PersistMeta(now+cycles, hkey, false)
 		}
 	}
+	persistNs = time.Since(persistStart).Nanoseconds()
 
 	// Phase 3: encode final counters into the cache, once per block.
 	// The digest is taken immediately after encoding, so a later
@@ -331,6 +343,10 @@ func (c *Controller) commitEpoch(now uint64, ops []epochOp) (EpochResult, error)
 	}
 
 	res.Cycles = cycles
+	res.PersistNs = persistNs
+	if climb := time.Since(wallStart).Nanoseconds() - persistNs; climb > 0 {
+		res.ClimbNs = climb
+	}
 	if c.trace != nil {
 		c.trace.Emit(telemetry.Event{
 			Cycle:  now + cycles,

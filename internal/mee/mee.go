@@ -275,6 +275,10 @@ type Controller struct {
 	// Recover. Atomic because the telemetry HTTP server reads it
 	// concurrently; never folded into simulated results.
 	recoveryWallNs atomic.Uint64
+	// recProg, when non-nil, is the live rebuild watermark every
+	// recovery path reports into (via RebuildOptions). All-atomic and
+	// read concurrently by telemetry gauges while recovery runs.
+	recProg *bmt.Progress
 }
 
 // enter claims the controller for one top-level operation; exit
@@ -360,10 +364,19 @@ func (c *Controller) RecoveryWorkers() int {
 }
 
 // RebuildOptions returns the bmt options policy recovery paths use:
-// the configured worker pool with the caller's persist choice.
+// the configured worker pool with the caller's persist choice, plus
+// the live progress watermark when one is installed.
 func (c *Controller) RebuildOptions(persist bool) bmt.RebuildOptions {
-	return bmt.RebuildOptions{Persist: persist, Workers: c.RecoveryWorkers()}
+	return bmt.RebuildOptions{Persist: persist, Workers: c.RecoveryWorkers(), Progress: c.recProg}
 }
+
+// SetRecoveryProgress installs (or, with nil, removes) the live
+// rebuild watermark recovery reports into. The serving layer installs
+// one per shard so /vars can show recovery progress while it runs.
+func (c *Controller) SetRecoveryProgress(p *bmt.Progress) { c.recProg = p }
+
+// RecoveryProgress returns the installed watermark, nil when none.
+func (c *Controller) RecoveryProgress() *bmt.Progress { return c.recProg }
 
 // RecoveryWallNs returns the cumulative host wall-clock nanoseconds
 // spent inside Recover (telemetry only; not part of simulated time).
@@ -953,10 +966,12 @@ func (c *Controller) Crash() {
 func (c *Controller) Recover(now uint64) (RecoveryReport, error) {
 	c.enter()
 	defer c.exit()
+	c.recProg.Reset()
 	start := time.Now()
 	rep, err := c.policy.Recover(now)
 	wallNs := uint64(time.Since(start).Nanoseconds())
 	rep.Workers = c.RecoveryWorkers()
+	c.recProg.SetWall(wallNs)
 	c.recoveryWallNs.Add(wallNs)
 	c.st.Recoveries.Inc()
 	c.st.RecoveryCycles.Add(rep.Cycles)

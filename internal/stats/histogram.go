@@ -54,6 +54,12 @@ func (h *Histogram) Merge(other *Histogram) {
 // Total returns the number of events observed across all keys.
 func (h *Histogram) Total() uint64 { return h.total }
 
+// Empty reports whether the histogram has observed no events. Callers
+// rendering quantiles should check this first: Quantile on an empty
+// histogram returns 0, which is indistinguishable from a genuine
+// all-zero distribution.
+func (h *Histogram) Empty() bool { return h.total == 0 }
+
 // Keys returns all keys with at least one event, ascending.
 func (h *Histogram) Keys() []uint64 {
 	keys := make([]uint64, 0, len(h.counts))
@@ -128,9 +134,15 @@ func (h *Histogram) Buckets(max uint64, n int) []uint64 {
 
 // Quantile returns the smallest key k such that at least q (0..1) of
 // all observed events have key <= k. q <= 0 yields the minimum key,
-// q >= 1 the maximum; an empty histogram yields 0. The write-queue
-// occupancy report (sim.Result) and telemetry histogram columns are
-// built on this.
+// q >= 1 the maximum.
+//
+// Zero-sample contract: a histogram with no observations returns 0
+// for every q — never a sentinel, never a panic. A 0 therefore means
+// "no data or all-zero data"; callers that must tell the two apart
+// (the telemetry columns, phase histograms whose phase never fired)
+// check Empty() before reading quantiles. The write-queue occupancy
+// report (sim.Result) and telemetry histogram columns are built on
+// this.
 func (h *Histogram) Quantile(q float64) uint64 {
 	if h.total == 0 {
 		return 0

@@ -291,6 +291,31 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
+// TestHistogramZeroSampleContract pins the documented behavior of a
+// histogram with no observations: every quantile is 0 (not a sentinel,
+// not a panic), Empty reports true, and the two are distinguishable
+// from a genuine all-zero distribution only via Empty.
+func TestHistogramZeroSampleContract(t *testing.T) {
+	h := NewHistogram()
+	if !h.Empty() {
+		t.Fatal("fresh histogram not Empty")
+	}
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	// A genuine all-zero distribution also yields quantile 0, but is
+	// not Empty — that is the disambiguation callers rely on.
+	h.Observe(0)
+	if h.Empty() {
+		t.Fatal("histogram with one sample reports Empty")
+	}
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("all-zero Quantile(0.99) = %d, want 0", got)
+	}
+}
+
 func TestHistogramQuantile(t *testing.T) {
 	h := NewHistogram()
 	if h.Quantile(0.5) != 0 {

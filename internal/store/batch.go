@@ -3,7 +3,31 @@ package store
 import (
 	"context"
 	"sync"
+
+	"amnt/internal/telemetry/span"
 )
+
+// absorbSlowest folds the slowest (critical-path) leg of a fan-out
+// round into the parent span, so the parent's phase sum still
+// decomposes the client-visible wall time, and marks the parent as a
+// multi-shard request when more than one shard served it.
+func absorbSlowest(parent *span.Span, legs []*span.Span) {
+	if parent == nil || len(legs) == 0 {
+		return
+	}
+	slowest := legs[0]
+	for _, l := range legs[1:] {
+		if l.End() > slowest.End() {
+			slowest = l
+		}
+	}
+	parent.Absorb(slowest)
+	if len(legs) == 1 {
+		// A batch that happened to route to one shard is attributable
+		// to it; a true fan-out stays -1 ("multi").
+		parent.SetShard(slowest.Shard())
+	}
+}
 
 // KV is one key/value pair of a batched put.
 type KV struct {
@@ -49,13 +73,18 @@ func (s *Store) PutBatch(ctx context.Context, kvs []KV) []error {
 		g.pairs = append(g.pairs, kvPair{block: block, value: v})
 		g.idx = append(g.idx, i)
 	}
+	parent := span.FromContext(ctx)
+	legs := make([]*span.Span, 0, len(order))
 	var wg sync.WaitGroup
 	for _, sh := range order {
 		g := group[sh]
+		leg := parent.Leg()
+		legs = append(legs, leg)
 		wg.Add(1)
-		go func(sh *shard, g *shardPut) {
+		go func(sh *shard, g *shardPut, leg *span.Span) {
 			defer wg.Done()
-			resp, err := s.submit(ctx, sh, request{op: opPutMulti, kvs: g.pairs, resp: make(chan response, 1)})
+			resp, err := s.submit(ctx, sh, request{op: opPutMulti, kvs: g.pairs, sp: leg, resp: make(chan response, 1)})
+			leg.End()
 			for j, i := range g.idx {
 				if err != nil {
 					errs[i] = err
@@ -63,9 +92,10 @@ func (s *Store) PutBatch(ctx context.Context, kvs []KV) []error {
 				}
 				errs[i] = resp.errs[j]
 			}
-		}(sh, g)
+		}(sh, g, leg)
 	}
 	wg.Wait()
+	absorbSlowest(parent, legs)
 	return errs
 }
 
@@ -97,13 +127,18 @@ func (s *Store) GetBatch(ctx context.Context, keys []uint64) ([][]byte, []error)
 		g.blocks = append(g.blocks, block)
 		g.idx = append(g.idx, i)
 	}
+	parent := span.FromContext(ctx)
+	legs := make([]*span.Span, 0, len(order))
 	var wg sync.WaitGroup
 	for _, sh := range order {
 		g := group[sh]
+		leg := parent.Leg()
+		legs = append(legs, leg)
 		wg.Add(1)
-		go func(sh *shard, g *shardGet) {
+		go func(sh *shard, g *shardGet, leg *span.Span) {
 			defer wg.Done()
-			resp, err := s.submit(ctx, sh, request{op: opGetMulti, blocks: g.blocks, resp: make(chan response, 1)})
+			resp, err := s.submit(ctx, sh, request{op: opGetMulti, blocks: g.blocks, sp: leg, resp: make(chan response, 1)})
+			leg.End()
 			for j, i := range g.idx {
 				if err != nil {
 					errs[i] = err
@@ -111,8 +146,9 @@ func (s *Store) GetBatch(ctx context.Context, keys []uint64) ([][]byte, []error)
 				}
 				values[i], errs[i] = resp.values[j], resp.errs[j]
 			}
-		}(sh, g)
+		}(sh, g, leg)
 	}
 	wg.Wait()
+	absorbSlowest(parent, legs)
 	return values, errs
 }

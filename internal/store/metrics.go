@@ -46,31 +46,34 @@ func (sh *shard) publish() {
 
 // ShardSnapshot is one shard's published counters.
 type ShardSnapshot struct {
-	Shard         int    `json:"shard"`
-	Serving       bool   `json:"serving"`
-	QueueLen      int    `json:"queue_len"`
-	Gets          uint64 `json:"gets"`
-	Puts          uint64 `json:"puts"`
-	Misses        uint64 `json:"misses"`
-	Flushes       uint64 `json:"flushes"`
-	Checkpoints   uint64 `json:"checkpoints"`
-	Recoveries    uint64 `json:"recoveries"`
-	Overloads     uint64 `json:"overloads"`
-	IntegrityErrs uint64 `json:"integrity_errors"`
-	OtherErrs     uint64 `json:"other_errors"`
-	Batches       uint64 `json:"batches"`
-	BatchItems    uint64 `json:"batch_items"`
-	Epochs        uint64 `json:"epochs"`
-	EpochOps      uint64 `json:"epoch_ops"`
-	EpochFallback uint64 `json:"epoch_fallbacks"`
-	ChaosRuns     uint64 `json:"chaos_runs"`
-	Cycles        uint64 `json:"sim_cycles"`
-	DataReads     uint64 `json:"data_reads"`
-	DataWrites    uint64 `json:"data_writes"`
-	MetaFetches   uint64 `json:"meta_fetches"`
-	PostedWrites  uint64 `json:"posted_writes"`
-	StallCycles   uint64 `json:"stall_cycles"`
-	MergedWrites  uint64 `json:"merged_writes"`
+	Shard          int     `json:"shard"`
+	Serving        bool    `json:"serving"`
+	QueueLen       int     `json:"queue_len"`
+	Gets           uint64  `json:"gets"`
+	Puts           uint64  `json:"puts"`
+	Misses         uint64  `json:"misses"`
+	Flushes        uint64  `json:"flushes"`
+	Checkpoints    uint64  `json:"checkpoints"`
+	Recoveries     uint64  `json:"recoveries"`
+	Overloads      uint64  `json:"overloads"`
+	IntegrityErrs  uint64  `json:"integrity_errors"`
+	OtherErrs      uint64  `json:"other_errors"`
+	Batches        uint64  `json:"batches"`
+	BatchItems     uint64  `json:"batch_items"`
+	Epochs         uint64  `json:"epochs"`
+	EpochOps       uint64  `json:"epoch_ops"`
+	EpochFallback  uint64  `json:"epoch_fallbacks"`
+	ChaosRuns      uint64  `json:"chaos_runs"`
+	RecoveryDone   uint64  `json:"recovery_leaves_done"`
+	RecoveryTotal  uint64  `json:"recovery_leaves_total"`
+	RecoveryWallMs float64 `json:"recovery_wall_ms"`
+	Cycles         uint64  `json:"sim_cycles"`
+	DataReads      uint64  `json:"data_reads"`
+	DataWrites     uint64  `json:"data_writes"`
+	MetaFetches    uint64  `json:"meta_fetches"`
+	PostedWrites   uint64  `json:"posted_writes"`
+	StallCycles    uint64  `json:"stall_cycles"`
+	MergedWrites   uint64  `json:"merged_writes"`
 }
 
 // Snapshot is the whole store's published state.
@@ -112,6 +115,11 @@ func (s *Store) Stats() Snapshot {
 			PostedWrites:  m.postedWrites.Load(),
 			StallCycles:   m.stallCycles.Load(),
 			MergedWrites:  m.mergedWrites.Load(),
+		}
+		if ps := sh.prog.Snapshot(); ps.Total > 0 {
+			ss.RecoveryDone = ps.Done
+			ss.RecoveryTotal = ps.Total
+			ss.RecoveryWallMs = float64(ps.WallNs) / 1e6
 		}
 		out.Shards[i] = ss
 		out.Ops += ss.Gets + ss.Puts
@@ -156,6 +164,21 @@ func (s *Store) RegisterMetrics(reg *telemetry.Registry) {
 		reg.Gauge(p+".queue_len", "requests waiting in the shard queue", func() float64 {
 			return float64(len(sh.ch))
 		})
+		reg.Gauge(p+".recovery_leaves_done", "BMT leaves rebuilt by the latest recovery", func() float64 {
+			return float64(sh.prog.Snapshot().Done)
+		})
+		reg.Gauge(p+".recovery_leaves_total", "BMT leaves the latest recovery must rebuild", func() float64 {
+			return float64(sh.prog.Snapshot().Total)
+		})
+		reg.Gauge(p+".recovery_active", "1 while a recovery rebuild is in flight", func() float64 {
+			if sh.prog.Snapshot().Active {
+				return 1
+			}
+			return 0
+		})
+		reg.Gauge(p+".recovery_wall_ms", "wall time of the latest completed recovery, ms", func() float64 {
+			return float64(sh.prog.Snapshot().WallNs) / 1e6
+		})
 		reg.Gauge(p+".serving", "1 while the shard accepts requests", func() float64 {
 			if sh.failed.Load() {
 				return 0
@@ -187,6 +210,29 @@ func (s *Store) RegisterMetrics(reg *telemetry.Registry) {
 	})
 	reg.Counter("store.epoch_fallbacks", "epoch commits degraded to per-op replay", func() uint64 {
 		return s.sum(func(m *shardMetrics) *atomic.Uint64 { return &m.epochFallbacks })
+	})
+	reg.Gauge("store.recovery_leaves_done", "BMT leaves rebuilt by the latest recoveries, all shards", func() float64 {
+		var n uint64
+		for _, sh := range s.shards {
+			n += sh.prog.Snapshot().Done
+		}
+		return float64(n)
+	})
+	reg.Gauge("store.recovery_leaves_total", "BMT leaves the latest recoveries must rebuild, all shards", func() float64 {
+		var n uint64
+		for _, sh := range s.shards {
+			n += sh.prog.Snapshot().Total
+		}
+		return float64(n)
+	})
+	reg.Gauge("store.recoveries_active", "shards with a recovery rebuild in flight", func() float64 {
+		var n float64
+		for _, sh := range s.shards {
+			if sh.prog.Snapshot().Active {
+				n++
+			}
+		}
+		return n
 	})
 	reg.Gauge("store.shards_serving", "shards currently in service", func() float64 {
 		var n float64

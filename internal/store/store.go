@@ -40,10 +40,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"amnt/internal/bmt"
 	"amnt/internal/faults"
 	"amnt/internal/mee"
 	"amnt/internal/scm"
 	"amnt/internal/stats"
+	"amnt/internal/telemetry/span"
 )
 
 // MaxValueLen is the largest value a single key can hold: one SCM
@@ -153,6 +155,7 @@ type kvPair struct {
 type request struct {
 	op     opKind
 	ctx    context.Context // caller's context; expired requests are nacked, not served
+	sp     *span.Span      // latency-attribution span (nil = untraced)
 	block  uint64
 	value  []byte   // put payload, owned by the request
 	blocks []uint64 // multi-get blocks
@@ -182,7 +185,8 @@ type shard struct {
 	batchMax  int
 	epochMax  int
 	epochWait time.Duration
-	ckpt      string // checkpoint path, "" = none
+	ckpt      string        // checkpoint path, "" = none
+	prog      *bmt.Progress // live recovery rebuild watermark
 	failed    atomic.Bool
 	closeErr  error // final flush/checkpoint error, read after done
 	m         shardMetrics
@@ -232,7 +236,9 @@ func Open(cfg Config) (*Store, error) {
 			epochWait:   cfg.EpochWait,
 			epochSizes:  stats.NewHistogram(),
 			epochCycles: stats.NewHistogram(),
+			prog:        &bmt.Progress{},
 		}
+		ctrl.SetRecoveryProgress(sh.prog)
 		if cfg.CheckpointDir != "" {
 			sh.ckpt = filepath.Join(cfg.CheckpointDir, fmt.Sprintf("shard-%03d.ckpt", i))
 			if err := sh.boot(); err != nil {
@@ -288,6 +294,10 @@ func (s *Store) submit(ctx context.Context, sh *shard, req request) (response, e
 		return response{}, ErrShardFailed
 	}
 	req.ctx = ctx
+	if req.sp == nil {
+		req.sp = span.FromContext(ctx)
+	}
+	req.sp.SetShard(sh.id)
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -435,6 +445,11 @@ func (sh *shard) run() {
 		if !ok {
 			break
 		}
+		// Dequeue stamps close the queue_wait phase per request: a
+		// request arriving during the linger below charges the linger
+		// to queue_wait, while already-drained writes charge it to
+		// epoch_stage — the honest attribution either way.
+		req.sp.Mark(span.QueueWait)
 		batch = append(batch[:0], req)
 	fill:
 		for len(batch) < sh.batchMax {
@@ -444,6 +459,7 @@ func (sh *shard) run() {
 					open = false
 					break fill
 				}
+				r.sp.Mark(span.QueueWait)
 				batch = append(batch, r)
 			default:
 				break fill
@@ -459,6 +475,7 @@ func (sh *shard) run() {
 						open = false
 						break wait
 					}
+					r.sp.Mark(span.QueueWait)
 					batch = append(batch, r)
 				case <-timer.C:
 					break wait
@@ -590,6 +607,11 @@ func (sh *shard) commitStaged(ep *mee.Epoch, acks []stagedAck) {
 		}
 		return
 	}
+	// The staging wait ends here: everything since dequeue was epoch
+	// residency (buffering, linger, earlier batch items).
+	for _, a := range acks {
+		a.req.sp.Mark(span.EpochStage)
+	}
 	res, err := ep.Commit()
 	if err == nil {
 		sh.now += res.Cycles
@@ -600,6 +622,13 @@ func (sh *shard) commitStaged(ep *mee.Epoch, acks []stagedAck) {
 		sh.epochCycles.Observe(res.Cycles >> 8)
 		sh.histMu.Unlock()
 		for _, a := range acks {
+			// Every staged write shares the commit's climb/persist wall
+			// split (the commit IS their shared critical path); Reset
+			// discards the near-identical raw interval so it is not
+			// double counted.
+			a.req.sp.Add(span.CommitClimb, res.ClimbNs)
+			a.req.sp.Add(span.Persist, res.PersistNs)
+			a.req.sp.Reset()
 			sh.ackStaged(a)
 		}
 		return
@@ -610,10 +639,13 @@ func (sh *shard) commitStaged(ep *mee.Epoch, acks []stagedAck) {
 		switch a.req.op {
 		case opPut:
 			if a.errs != nil { // rejected at staging
+				a.req.sp.Mark(span.EpochFallback)
 				a.req.resp <- response{err: a.errs[0]}
 				continue
 			}
-			a.req.resp <- response{err: sh.putBlock(a.req.block, a.req.value)}
+			err := sh.putBlock(a.req.block, a.req.value)
+			a.req.sp.Mark(span.EpochFallback)
+			a.req.resp <- response{err: err}
 		case opPutMulti:
 			for i, kv := range a.req.kvs {
 				if a.errs[i] != nil {
@@ -621,6 +653,7 @@ func (sh *shard) commitStaged(ep *mee.Epoch, acks []stagedAck) {
 				}
 				a.errs[i] = sh.putBlock(kv.block, kv.value)
 			}
+			a.req.sp.Mark(span.EpochFallback)
 			a.req.resp <- response{errs: a.errs}
 		}
 	}
@@ -688,25 +721,36 @@ func (sh *shard) serve(r request) response {
 	switch r.op {
 	case opGet:
 		sh.m.gets.Add(1)
+		// In-batch wait since dequeue is staging-equivalent residency;
+		// the verified read walk itself is the climb.
+		r.sp.Mark(span.EpochStage)
 		v, err := sh.getBlock(r.block)
+		r.sp.Mark(span.CommitClimb)
 		return response{value: v, err: err}
 	case opGetMulti:
 		values := make([][]byte, len(r.blocks))
 		errs := make([]error, len(r.blocks))
 		sh.m.gets.Add(uint64(len(r.blocks)))
+		r.sp.Mark(span.EpochStage)
 		for i, b := range r.blocks {
 			values[i], errs[i] = sh.getBlock(b)
 		}
+		r.sp.Mark(span.CommitClimb)
 		return response{values: values, errs: errs}
 	case opPut:
 		sh.m.puts.Add(1)
-		return response{err: sh.putBlock(r.block, r.value)}
+		r.sp.Mark(span.EpochStage)
+		err := sh.putBlock(r.block, r.value)
+		r.sp.Mark(span.CommitClimb)
+		return response{err: err}
 	case opPutMulti:
 		errs := make([]error, len(r.kvs))
 		sh.m.puts.Add(uint64(len(r.kvs)))
+		r.sp.Mark(span.EpochStage)
 		for i, kv := range r.kvs {
 			errs[i] = sh.putBlock(kv.block, kv.value)
 		}
+		r.sp.Mark(span.CommitClimb)
 		return response{errs: errs}
 	case opFlush:
 		sh.now += sh.ctrl.Flush(sh.now)

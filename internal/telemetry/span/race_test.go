@@ -1,0 +1,121 @@
+package span
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanRaceFullSampling hammers one recorder from many client
+// goroutines at full sampling and verifies nothing is lost or torn:
+// every request publishes exactly one span, every ring slot holds an
+// internally consistent record (its own id round-trips, phases are
+// non-negative, total covers the phase sum), and the RED counters
+// account for every request.
+func TestSpanRaceFullSampling(t *testing.T) {
+	const clients, perClient = 8, 500
+	r := New(Config{SampleEvery: 1, RingSize: clients * perClient, Shards: 4})
+	op := r.Op("hammer")
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				t0 := time.Now()
+				s := op.Start(fmt.Sprintf("c%d-r%d", c, i))
+				s.SetShard(c % 4)
+				s.Mark(QueueWait)
+				s.Add(CommitClimb, int64(1000*(i+1)))
+				s.Mark(EpochStage)
+				// A second goroutine stamping the same span mirrors the
+				// worker/handler overlap on the serving path.
+				done := make(chan struct{})
+				go func() {
+					s.Add(Persist, 500)
+					close(done)
+				}()
+				<-done
+				op.Done(s, t0, nil)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	const total = clients * perClient
+	if got := r.Sampled(); got != total {
+		t.Fatalf("sampled = %d, want %d (lost spans)", got, total)
+	}
+	if got := op.requests.Load(); got != total {
+		t.Fatalf("requests = %d, want %d", got, total)
+	}
+
+	recs := r.Recent(total)
+	if len(recs) != total {
+		t.Fatalf("ring holds %d records, want %d", len(recs), total)
+	}
+	seen := make(map[string]bool, total)
+	for _, rec := range recs {
+		if seen[rec.RequestID] {
+			t.Fatalf("request %s published twice", rec.RequestID)
+		}
+		seen[rec.RequestID] = true
+		if rec.Op != "hammer" {
+			t.Fatalf("torn record: op %q", rec.Op)
+		}
+		if rec.CommitClimbUs < 1 || rec.PersistUs != 0 {
+			// Persist was 500ns -> rounds to 0µs; climb >= 1000ns -> >= 1µs.
+			t.Fatalf("torn phases: %+v", rec)
+		}
+		phaseSum := rec.QueueWaitUs + rec.EpochStageUs + rec.CommitClimbUs +
+			rec.PersistUs + rec.EpochFallbackUs + rec.AckUs
+		// Marked phases are bounded by wall time; Add-ed ones are not.
+		// Total must at least not be negative or wildly torn.
+		if rec.TotalUs < 0 || phaseSum < rec.CommitClimbUs {
+			t.Fatalf("inconsistent record: %+v", rec)
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("distinct ids = %d, want %d", len(seen), total)
+	}
+}
+
+// TestSpanRaceSampledRing runs the same hammer at 1% sampling and
+// verifies memory stays bounded by the ring and the sampling gate
+// admits exactly one span per hundred requests.
+func TestSpanRaceSampledRing(t *testing.T) {
+	const clients, perClient, every = 8, 1000, 100
+	r := New(Config{SampleEvery: every, RingSize: 16})
+	op := r.Op("hammer")
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				t0 := time.Now()
+				s := op.Start(fmt.Sprintf("c%d-r%d", c, i))
+				s.Mark(QueueWait) // nil for 99% of requests
+				op.Done(s, t0, nil)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	const total = clients * perClient
+	if got := op.requests.Load(); got != total {
+		t.Fatalf("requests = %d, want %d", got, total)
+	}
+	// The admission counter is shared and atomic, so exactly 1/every
+	// of the requests mint spans regardless of interleaving.
+	if got := r.Sampled(); got != total/every {
+		t.Fatalf("sampled = %d, want %d", got, total/every)
+	}
+	// Memory bound: the ring retains at most RingSize records.
+	if got := len(r.Recent(total)); got > 16 {
+		t.Fatalf("ring returned %d records, want <= 16", got)
+	}
+}

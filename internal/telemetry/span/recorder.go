@@ -1,0 +1,319 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amnt/internal/stats"
+	"amnt/internal/telemetry"
+)
+
+// Config sizes a Recorder.
+type Config struct {
+	// SampleEvery records one span per N requests admitted through
+	// Op.Start. 1 samples everything, 0 (or negative) disables span
+	// recording entirely — Start returns nil and the request pays two
+	// atomic increments and one histogram observation, nothing more.
+	SampleEvery int
+	// RingSize bounds the finished-span ring buffer (rounded up to a
+	// power of two; default 4096). Memory is bounded by the ring: an
+	// unsampled request allocates nothing, a sampled one allocates
+	// exactly its span, and the ring holds the last RingSize of them.
+	RingSize int
+	// Shards sizes the per-shard duration histograms; requests served
+	// by multiple shards (batch fan-out) land in a shared "multi"
+	// histogram.
+	Shards int
+	// SlowThreshold, when positive, logs every finished span whose
+	// total duration meets it — the slow-request log. Requires Logger.
+	SlowThreshold time.Duration
+	// Logger is the structured sink for the slow-request log.
+	Logger *slog.Logger
+}
+
+// Recorder owns sampling, the finished-span ring, the per-phase and
+// per-endpoint histograms, and the slow-request log. Safe for
+// concurrent use; nil-safe throughout.
+type Recorder struct {
+	cfg  Config
+	mask uint64
+	ring []atomic.Pointer[Span]
+
+	ctr  atomic.Uint64 // sampling admission counter
+	seq  atomic.Uint64 // finished sampled spans published to the ring
+	slow atomic.Uint64 // spans over the slow threshold
+
+	mu        sync.Mutex
+	phaseHist [NumPhases]*stats.Histogram // µs, fed on finish
+	shardHist []*stats.Histogram          // per shard; last slot = multi
+
+	opMu  sync.Mutex
+	ops   map[string]*Op
+	order []string
+}
+
+// New builds a Recorder. Returns nil when cfg disables recording AND
+// no RED accounting is wanted — callers that want per-endpoint
+// rate/error/duration counters with spans off should still construct
+// one with SampleEvery 0.
+func New(cfg Config) *Recorder {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 4096
+	}
+	size := 1
+	for size < cfg.RingSize {
+		size <<= 1
+	}
+	if cfg.Shards < 0 {
+		cfg.Shards = 0
+	}
+	r := &Recorder{
+		cfg:  cfg,
+		mask: uint64(size - 1),
+		ring: make([]atomic.Pointer[Span], size),
+		ops:  make(map[string]*Op),
+	}
+	for p := range r.phaseHist {
+		r.phaseHist[p] = stats.NewHistogram()
+	}
+	r.shardHist = make([]*stats.Histogram, cfg.Shards+1)
+	for i := range r.shardHist {
+		r.shardHist[i] = stats.NewHistogram()
+	}
+	return r
+}
+
+// Op is one endpoint's RED accounting: request and error counters
+// (every request, sampled or not) plus an exact duration histogram.
+type Op struct {
+	r        *Recorder
+	name     string
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	mu       sync.Mutex
+	lat      *stats.Histogram // µs, every request
+}
+
+// Op returns (minting on first use) the named endpoint. Mint every op
+// before RegisterMetrics and before serving starts.
+func (r *Recorder) Op(name string) *Op {
+	if r == nil {
+		return nil
+	}
+	r.opMu.Lock()
+	defer r.opMu.Unlock()
+	if op := r.ops[name]; op != nil {
+		return op
+	}
+	op := &Op{r: r, name: name, lat: stats.NewHistogram()}
+	r.ops[name] = op
+	r.order = append(r.order, name)
+	return op
+}
+
+// Start admits one request: the rate counter always increments, and
+// when the sampling gate passes, a span is minted (one allocation).
+// Returns nil — free to stamp — otherwise.
+func (op *Op) Start(id string) *Span {
+	if op == nil {
+		return nil
+	}
+	op.requests.Add(1)
+	r := op.r
+	if r.cfg.SampleEvery <= 0 {
+		return nil
+	}
+	if r.cfg.SampleEvery > 1 && r.ctr.Add(1)%uint64(r.cfg.SampleEvery) != 0 {
+		return nil
+	}
+	return newSpan(id, op)
+}
+
+// Done closes one request: errors count, the exact duration histogram
+// observes start→now, and the sampled span (if any) is finished —
+// published to the ring, folded into the phase histograms, and slow-
+// logged when over threshold. Call exactly once per Start, from the
+// handler goroutine, before writing the response (the span's Timing
+// is stable afterwards).
+func (op *Op) Done(s *Span, start time.Time, err error) {
+	if op == nil {
+		return
+	}
+	if err != nil {
+		op.errors.Add(1)
+	}
+	us := uint64(time.Since(start).Microseconds())
+	op.mu.Lock()
+	op.lat.Observe(us)
+	op.mu.Unlock()
+	op.r.finish(s, err)
+}
+
+// finish publishes one sampled span.
+func (r *Recorder) finish(s *Span, err error) {
+	if r == nil || s == nil || !s.finished.CompareAndSwap(false, true) {
+		return
+	}
+	s.Mark(Ack)
+	total := s.sinceStart()
+	s.total.Store(total)
+	if err != nil {
+		s.failed.Store(true)
+	}
+
+	r.mu.Lock()
+	for p := Phase(0); p < NumPhases; p++ {
+		// Phases that never fired contribute no sample, so a phase no
+		// workload exercises keeps an empty histogram (Quantile -> 0 by
+		// the zero-sample contract) instead of a pile of zeros.
+		if v := s.phase[p].Load(); v > 0 {
+			r.phaseHist[p].Observe(uint64(v / 1e3))
+		}
+	}
+	si := s.Shard()
+	if si < 0 || si >= len(r.shardHist)-1 {
+		si = len(r.shardHist) - 1
+	}
+	r.shardHist[si].Observe(uint64(total / 1e3))
+	r.mu.Unlock()
+
+	i := r.seq.Add(1) - 1
+	r.ring[i&r.mask].Store(s)
+
+	if r.cfg.SlowThreshold > 0 && total >= int64(r.cfg.SlowThreshold) {
+		r.slow.Add(1)
+		if l := r.cfg.Logger; l != nil {
+			t := s.Timing()
+			l.Warn("slow request",
+				"request_id", t.RequestID,
+				"op", t.Op,
+				"shard", t.Shard,
+				"total_us", t.TotalUs,
+				"queue_wait_us", t.QueueWaitUs,
+				"epoch_stage_us", t.EpochStageUs,
+				"commit_climb_us", t.CommitClimbUs,
+				"persist_us", t.PersistUs,
+				"epoch_fallback_us", t.EpochFallbackUs,
+				"ack_us", t.AckUs,
+				"error", s.failed.Load(),
+			)
+		}
+	}
+}
+
+// Sampled returns how many spans have been recorded.
+func (r *Recorder) Sampled() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq.Load()
+}
+
+// Record is one finished span as exported on /v1/spans (JSONL).
+type Record struct {
+	Timing
+	StartUnixUs int64 `json:"start_unix_us"`
+	Error       bool  `json:"error,omitempty"`
+}
+
+// Recent returns up to n of the most recently finished spans, oldest
+// first. The ring may be overwritten concurrently; each slot read is
+// atomic, so rows are individually consistent.
+func (r *Recorder) Recent(n int) []Record {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	seq := r.seq.Load()
+	count := uint64(n)
+	if count > seq {
+		count = seq
+	}
+	if ring := uint64(len(r.ring)); count > ring {
+		count = ring
+	}
+	out := make([]Record, 0, count)
+	for i := seq - count; i < seq; i++ {
+		s := r.ring[i&r.mask].Load()
+		if s == nil {
+			continue
+		}
+		out = append(out, Record{
+			Timing:      *s.Timing(),
+			StartUnixUs: s.start.UnixMicro(),
+			Error:       s.failed.Load(),
+		})
+	}
+	return out
+}
+
+// WriteJSONL streams the n most recent finished spans as JSON lines.
+func (r *Recorder) WriteJSONL(w io.Writer, n int) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range r.Recent(n) {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SlowCount returns how many finished spans met the slow threshold.
+func (r *Recorder) SlowCount() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.slow.Load()
+}
+
+// cloneHist snapshots one histogram under the recorder lock.
+func (r *Recorder) cloneHist(h *stats.Histogram) func() *stats.Histogram {
+	return func() *stats.Histogram {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return h.Clone()
+	}
+}
+
+// RegisterMetrics adds the span columns to reg: one latency histogram
+// per phase, RED (rate / errors / duration) per registered endpoint,
+// a duration histogram per shard, and the sampled/slow counters. Mint
+// every Op first; call before sampling begins.
+func (r *Recorder) RegisterMetrics(reg *telemetry.Registry) {
+	if r == nil {
+		return
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		reg.Histogram("span.phase."+p.String(),
+			p.String()+" phase latency, µs", r.cloneHist(r.phaseHist[p]))
+	}
+	reg.Counter("span.sampled", "spans recorded", r.Sampled)
+	reg.Counter("span.slow", "spans over the slow-request threshold", r.SlowCount)
+	r.opMu.Lock()
+	names := append([]string(nil), r.order...)
+	r.opMu.Unlock()
+	for _, name := range names {
+		op := r.ops[name]
+		reg.Counter("span.op."+name+".requests", name+" requests admitted", op.requests.Load)
+		reg.Counter("span.op."+name+".errors", name+" requests failed", op.errors.Load)
+		reg.Histogram("span.op."+name+".latency_us", name+" end-to-end latency, µs",
+			func() *stats.Histogram {
+				op.mu.Lock()
+				defer op.mu.Unlock()
+				return op.lat.Clone()
+			})
+	}
+	for i := range r.shardHist {
+		name := fmt.Sprintf("span.shard%d.latency_us", i)
+		help := fmt.Sprintf("end-to-end latency of requests served by shard %d, µs", i)
+		if i == len(r.shardHist)-1 {
+			name = "span.multi.latency_us"
+			help = "end-to-end latency of multi-shard (fan-out) requests, µs"
+		}
+		reg.Histogram(name, help, r.cloneHist(r.shardHist[i]))
+	}
+}

@@ -1,0 +1,269 @@
+package span
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilSafety exercises every exported method on nil receivers —
+// the "near-free when disabled" contract means instrumented code never
+// guards its stamps.
+func TestNilSafety(t *testing.T) {
+	var s *Span
+	s.Mark(QueueWait)
+	s.Add(Persist, 100)
+	s.Reset()
+	s.SetShard(3)
+	if leg := s.Leg(); leg != nil {
+		t.Fatal("nil span minted a leg")
+	}
+	s.Absorb(nil)
+	if s.End() != 0 || s.PhaseNs(Ack) != 0 || s.TotalNs() != 0 {
+		t.Fatal("nil span reported nonzero durations")
+	}
+	if s.ID() != "" || s.OpName() != "" || s.Shard() != -1 {
+		t.Fatal("nil span reported identity")
+	}
+	if s.Timing() != nil {
+		t.Fatal("nil span produced a Timing")
+	}
+
+	var op *Op
+	if op.Start("x") != nil {
+		t.Fatal("nil op minted a span")
+	}
+	op.Done(nil, time.Now(), nil)
+
+	var r *Recorder
+	if r.Op("x") != nil {
+		t.Fatal("nil recorder minted an op")
+	}
+	if r.Sampled() != 0 || r.SlowCount() != 0 || r.Recent(10) != nil {
+		t.Fatal("nil recorder reported state")
+	}
+}
+
+// TestMarkAttribution verifies Mark charges elapsed time to the named
+// phase and that Add/Reset fold externally measured durations without
+// double counting.
+func TestMarkAttribution(t *testing.T) {
+	s := newSpan("req-1", nil)
+	time.Sleep(2 * time.Millisecond)
+	s.Mark(QueueWait)
+	if got := s.PhaseNs(QueueWait); got < int64(time.Millisecond) {
+		t.Fatalf("queue_wait = %dns, want >= 1ms", got)
+	}
+	if got := s.PhaseNs(EpochStage); got != 0 {
+		t.Fatalf("epoch_stage = %dns before any stage mark", got)
+	}
+
+	// Externally measured climb/persist split + Reset: the phases get
+	// exactly the added values, and the wall interval is discarded.
+	s.Add(CommitClimb, 5000)
+	s.Add(Persist, 3000)
+	s.Reset()
+	if got := s.PhaseNs(CommitClimb); got != 5000 {
+		t.Fatalf("commit_climb = %d, want 5000", got)
+	}
+	if got := s.PhaseNs(Persist); got != 3000 {
+		t.Fatalf("persist = %d, want 3000", got)
+	}
+	s.Add(Persist, -10) // negative adds are dropped
+	if got := s.PhaseNs(Persist); got != 3000 {
+		t.Fatalf("persist after negative Add = %d, want 3000", got)
+	}
+}
+
+// TestEndIdempotent pins the first-call-wins total.
+func TestEndIdempotent(t *testing.T) {
+	s := newSpan("req-2", nil)
+	time.Sleep(time.Millisecond)
+	first := s.End()
+	if first <= 0 {
+		t.Fatalf("End = %d, want > 0", first)
+	}
+	time.Sleep(time.Millisecond)
+	if again := s.End(); again != first {
+		t.Fatalf("second End = %d, want %d", again, first)
+	}
+}
+
+// TestAbsorb verifies the fan-out contract: the parent inherits the
+// slowest leg's phases and books its own overhead (fan-out, fan-in)
+// as Ack, so the parent's phase sum still decomposes wall time.
+func TestAbsorb(t *testing.T) {
+	parent := newSpan("req-3", nil)
+	leg := parent.Leg()
+	if leg == nil || leg.ID() != "req-3" {
+		t.Fatal("leg did not inherit the request id")
+	}
+	time.Sleep(2 * time.Millisecond)
+	leg.Mark(QueueWait)
+	leg.Add(CommitClimb, 4000)
+	leg.End()
+	parent.Absorb(leg)
+
+	if got := parent.PhaseNs(QueueWait); got < int64(time.Millisecond) {
+		t.Fatalf("parent queue_wait = %dns, want >= 1ms", got)
+	}
+	if got := parent.PhaseNs(CommitClimb); got != 4000 {
+		t.Fatalf("parent commit_climb = %d, want 4000", got)
+	}
+
+	// Marked phases are wall-bounded; Add-ed ones (the 4000ns climb)
+	// ride on top, so subtract them before comparing against wall.
+	var sum int64
+	for p := Phase(0); p < NumPhases; p++ {
+		sum += parent.PhaseNs(p)
+	}
+	wall := parent.sinceStart()
+	if sum-4000 > wall {
+		t.Fatalf("marked phase sum %dns exceeds wall %dns", sum-4000, wall)
+	}
+}
+
+// TestContextRoundTrip pins span propagation through context.
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(nil) != nil || FromContext(context.Background()) != nil {
+		t.Fatal("empty context produced a span")
+	}
+	s := newSpan("req-4", nil)
+	ctx := NewContext(context.Background(), s)
+	if FromContext(ctx) != s {
+		t.Fatal("span did not round-trip through context")
+	}
+	if NewContext(context.Background(), nil) != context.Background() {
+		t.Fatal("NewContext(nil span) wrapped the context")
+	}
+}
+
+// TestRecorderFinish walks one request end to end: sampling, phase
+// histograms, the ring, RED counters, and the Timing snapshot.
+func TestRecorderFinish(t *testing.T) {
+	r := New(Config{SampleEvery: 1, RingSize: 8, Shards: 2})
+	op := r.Op("kv_put")
+	if r.Op("kv_put") != op {
+		t.Fatal("Op not idempotent")
+	}
+
+	t0 := time.Now()
+	s := op.Start("req-5")
+	if s == nil {
+		t.Fatal("full sampling returned nil span")
+	}
+	s.SetShard(1)
+	time.Sleep(time.Millisecond)
+	s.Mark(QueueWait)
+	s.Add(CommitClimb, 2e6)
+	op.Done(s, t0, nil)
+
+	if r.Sampled() != 1 {
+		t.Fatalf("sampled = %d, want 1", r.Sampled())
+	}
+	recs := r.Recent(10)
+	if len(recs) != 1 {
+		t.Fatalf("recent = %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.RequestID != "req-5" || rec.Op != "kv_put" || rec.Shard != 1 {
+		t.Fatalf("record identity wrong: %+v", rec)
+	}
+	if rec.QueueWaitUs < 1000 || rec.CommitClimbUs != 2000 {
+		t.Fatalf("record phases wrong: %+v", rec)
+	}
+	if rec.TotalUs < rec.QueueWaitUs {
+		t.Fatalf("total %dµs < queue_wait %dµs", rec.TotalUs, rec.QueueWaitUs)
+	}
+
+	// Finishing is idempotent: Done again must not double publish.
+	op.Done(s, t0, nil)
+	if r.Sampled() != 1 {
+		t.Fatalf("double finish published twice (sampled = %d)", r.Sampled())
+	}
+
+	// An unexercised phase keeps an empty histogram.
+	r.mu.Lock()
+	fallbackEmpty := r.phaseHist[EpochFallback].Empty()
+	queueEmpty := r.phaseHist[QueueWait].Empty()
+	r.mu.Unlock()
+	if !fallbackEmpty {
+		t.Fatal("epoch_fallback histogram has samples")
+	}
+	if queueEmpty {
+		t.Fatal("queue_wait histogram is empty")
+	}
+}
+
+// TestSamplingDisabled pins the spans-off fast path: no spans, but
+// RED accounting still counts.
+func TestSamplingDisabled(t *testing.T) {
+	r := New(Config{SampleEvery: 0})
+	op := r.Op("kv_get")
+	t0 := time.Now()
+	sp := op.Start("req-6")
+	if sp != nil {
+		t.Fatal("SampleEvery 0 minted a span")
+	}
+	op.Done(sp, t0, errors.New("boom"))
+	if op.requests.Load() != 1 || op.errors.Load() != 1 {
+		t.Fatalf("RED counters = %d/%d, want 1/1",
+			op.requests.Load(), op.errors.Load())
+	}
+	if r.Sampled() != 0 {
+		t.Fatalf("sampled = %d with spans off", r.Sampled())
+	}
+}
+
+// TestSlowLog verifies the slow-request log fires with the full phase
+// dump once the threshold is met.
+func TestSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	r := New(Config{
+		SampleEvery:   1,
+		SlowThreshold: time.Millisecond,
+		Logger:        slog.New(slog.NewTextHandler(&buf, nil)),
+	})
+	op := r.Op("kv_put")
+	t0 := time.Now()
+	s := op.Start("req-slow")
+	time.Sleep(2 * time.Millisecond)
+	s.Mark(CommitClimb)
+	op.Done(s, t0, nil)
+
+	if r.SlowCount() != 1 {
+		t.Fatalf("slow count = %d, want 1", r.SlowCount())
+	}
+	out := buf.String()
+	for _, want := range []string{"slow request", "req-slow", "commit_climb_us", "total_us"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("slow log missing %q: %s", want, out)
+		}
+	}
+}
+
+// TestWriteJSONL pins the export format line count.
+func TestWriteJSONL(t *testing.T) {
+	r := New(Config{SampleEvery: 1, RingSize: 8})
+	op := r.Op("batch")
+	for i := 0; i < 3; i++ {
+		t0 := time.Now()
+		s := op.Start("req")
+		op.Done(s, t0, nil)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("jsonl lines = %d, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], `"queue_wait_us"`) {
+		t.Fatalf("jsonl missing phase field: %s", lines[0])
+	}
+}
