@@ -16,7 +16,17 @@
 //	POST /v1/checkpoint    persist shard images to -checkpoint-dir
 //	POST /v1/recover       power-cycle every shard (crash + recover + verify)
 //	POST /v1/chaos?shard=0&kind=torn&seed=1   fault-injected power failure
+//	POST /v1/quarantine?shard=0               force a shard into the heal loop
 //	GET  /v1/store/stats   per-shard and aggregate counters
+//	GET  /v1/health        per-shard health states + heal counters;
+//	                       503 while any shard is quarantined
+//
+// Degraded serving: shards recover online, so requests keep flowing
+// while a tree rebuild is in flight. When a request cannot be served
+// the daemon answers 503 with a machine-readable reason —
+// {"reason":"overloaded"|"recovering"|"failed","retry_after_ms":..}
+// — plus a Retry-After header, so clients can back off instead of
+// treating the condition as a hard failure.
 //
 // Shutdown (SIGINT/SIGTERM) is graceful: the HTTP server drains via
 // Shutdown, then the store drains its queues, flushes, and writes a
@@ -66,6 +76,10 @@ func main() {
 		reqTimeout = flag.Duration("req-timeout", 2*time.Second, "per-request serving deadline")
 		sample     = flag.Duration("sample", 250*time.Millisecond, "telemetry sampling period")
 		recWorkers = flag.Int("recovery-workers", 1, "rebuild worker-pool width for shard recovery (bit-identical results at any width)")
+		recChunk   = flag.Int("recovery-chunk", 0, "counter leaves rebuilt per online-recovery step between request waves (0 = default)")
+		healBack   = flag.Duration("heal-backoff", 0, "initial delay before a quarantined shard's first heal attempt (0 = default)")
+		healBackMx = flag.Duration("heal-backoff-max", 0, "cap on the heal-loop exponential backoff (0 = default)")
+		healMax    = flag.Int("heal-max-attempts", 0, "heal attempts before a quarantined shard is abandoned (0 = default, negative = never heal)")
 		spanSample = flag.Int("span-sample", 1, "record one latency-attribution span per N requests (1 = every request, 0 = spans off)")
 		spanRing   = flag.Int("span-ring", 4096, "finished-span ring buffer size (/v1/spans depth)")
 		slowThresh = flag.Duration("slow-threshold", 250*time.Millisecond, "log any request slower than this with its full phase breakdown (0 = off)")
@@ -73,14 +87,18 @@ func main() {
 	flag.Parse()
 
 	cfg := store.Config{
-		Shards:        *shards,
-		ShardMemBytes: uint64(*memMB) << 20,
-		Protocol:      *protocol,
-		QueueDepth:    *queue,
-		BatchMax:      *batch,
-		EpochMax:      *epochMax,
-		EpochWait:     *epochWait,
-		CheckpointDir: *ckptDir,
+		Shards:          *shards,
+		ShardMemBytes:   uint64(*memMB) << 20,
+		Protocol:        *protocol,
+		QueueDepth:      *queue,
+		BatchMax:        *batch,
+		EpochMax:        *epochMax,
+		EpochWait:       *epochWait,
+		CheckpointDir:   *ckptDir,
+		RecoveryChunk:   *recChunk,
+		HealBackoff:     *healBack,
+		HealBackoffMax:  *healBackMx,
+		HealMaxAttempts: *healMax,
 	}
 	cfg.MEE.RecoveryWorkers = *recWorkers
 	cfg.PolicyOptions.SubtreeLevel = *level
@@ -160,6 +178,7 @@ type tracer struct {
 
 	kvGet, kvPut, batch               *span.Op
 	flush, checkpoint, recover, chaos *span.Op
+	quarantine                        *span.Op
 }
 
 // newTracer mints every endpoint op up front so RegisterMetrics sees
@@ -175,6 +194,7 @@ func newTracer(rec *span.Recorder) *tracer {
 		checkpoint: rec.Op("checkpoint"),
 		recover:    rec.Op("recover"),
 		chaos:      rec.Op("chaos"),
+		quarantine: rec.Op("quarantine"),
 	}
 }
 
@@ -314,8 +334,67 @@ func mount(mux *http.ServeMux, st *store.Store, reqTimeout time.Duration, tr *tr
 		}
 		writeJSON(w, res)
 	}
+	quarantine := func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+			return
+		}
+		shard := 0
+		if v := r.URL.Query().Get("shard"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			shard = n
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+		defer cancel()
+		sp, t0 := tr.begin(tr.quarantine, w, r)
+		err := st.Quarantine(span.NewContext(ctx, sp), shard)
+		tr.quarantine.Done(sp, t0, err)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, map[string]any{"ok": true, "op": "quarantine", "shard": shard})
+	}
 	stats := func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, st.Stats())
+	}
+	health := func(w http.ResponseWriter, _ *http.Request) {
+		snap := st.Stats()
+		out := healthReport{Status: "ok"}
+		code := http.StatusOK
+		for _, sh := range snap.Shards {
+			out.Shards = append(out.Shards, shardHealthState{
+				Shard:          sh.Shard,
+				Health:         sh.Health,
+				Serving:        sh.Serving,
+				Failures:       sh.Failures,
+				HealAttempts:   sh.HealAttempts,
+				Heals:          sh.Heals,
+				Recoveries:     sh.Recoveries,
+				RecoveringNack: sh.RecoveringNack,
+				DegradedWrites: sh.DegradedWrites,
+				LeavesDone:     sh.RecoveryDone,
+				LeavesTotal:    sh.RecoveryTotal,
+			})
+			switch sh.Health {
+			case "quarantined":
+				out.Status = "degraded"
+				code = http.StatusServiceUnavailable
+			case "recovering":
+				if out.Status == "ok" {
+					out.Status = "recovering"
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
 	}
 	spans := func(w http.ResponseWriter, r *http.Request) {
 		n := 100
@@ -337,7 +416,9 @@ func mount(mux *http.ServeMux, st *store.Store, reqTimeout time.Duration, tr *tr
 	mux.HandleFunc("/v1/checkpoint", control("checkpoint", tr.checkpoint, st.Checkpoint))
 	mux.HandleFunc("/v1/recover", control("recover", tr.recover, st.Recover))
 	mux.HandleFunc("/v1/chaos", chaos)
+	mux.HandleFunc("/v1/quarantine", quarantine)
 	mux.HandleFunc("/v1/store/stats", stats)
+	mux.HandleFunc("/v1/health", health)
 	mux.HandleFunc("/v1/spans", spans)
 
 	// Pre-versioning aliases. Answer identically but advertise the
@@ -441,13 +522,57 @@ func batchHandler(st *store.Store, reqTimeout time.Duration, tr *tracer) http.Ha
 	}
 }
 
+// shardHealthState is one shard's entry in the /v1/health report:
+// its state-machine position joined with the heal counters and the
+// rebuild watermark.
+type shardHealthState struct {
+	Shard          int    `json:"shard"`
+	Health         string `json:"health"`
+	Serving        bool   `json:"serving"`
+	Failures       uint64 `json:"failures"`
+	HealAttempts   uint64 `json:"heal_attempts"`
+	Heals          uint64 `json:"heals"`
+	Recoveries     uint64 `json:"recoveries"`
+	RecoveringNack uint64 `json:"recovering_nacks"`
+	DegradedWrites uint64 `json:"degraded_writes"`
+	LeavesDone     uint64 `json:"recovery_leaves_done"`
+	LeavesTotal    uint64 `json:"recovery_leaves_total"`
+}
+
+// healthReport is the /v1/health body. Status is "ok", "recovering"
+// (a rebuild is in flight but every shard still serves), or
+// "degraded" (at least one shard is quarantined; the response is
+// 503 so load balancers can drain the instance).
+type healthReport struct {
+	Status string             `json:"status"`
+	Shards []shardHealthState `json:"shards"`
+}
+
+// degradation classifies the retryable serving failures: which
+// shard-level condition caused the 503 and how long a well-behaved
+// client should wait before retrying. Recovering shards clear
+// fastest (one rebuild chunk), overload clears as soon as the queue
+// drains, and a failed shard needs at least one heal-loop pass.
+func degradation(err error) (reason string, retryAfter time.Duration, ok bool) {
+	switch {
+	case errors.Is(err, store.ErrShardFailed):
+		return "failed", 500 * time.Millisecond, true
+	case errors.Is(err, store.ErrRecovering):
+		return "recovering", 100 * time.Millisecond, true
+	case errors.Is(err, store.ErrOverloaded):
+		return "overloaded", 25 * time.Millisecond, true
+	}
+	return "", 0, false
+}
+
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, store.ErrNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, store.ErrOverloaded):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, store.ErrClosed):
+	case errors.Is(err, store.ErrOverloaded),
+		errors.Is(err, store.ErrRecovering),
+		errors.Is(err, store.ErrShardFailed),
+		errors.Is(err, store.ErrClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, store.ErrValueTooLarge), errors.Is(err, store.ErrOutOfRange):
 		return http.StatusBadRequest
@@ -465,8 +590,25 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
+// httpError writes the JSON error body. Retryable degradations
+// (overload, online recovery, quarantine) are forced to 503 and
+// carry both a Retry-After header (whole seconds, the HTTP
+// contract) and a finer-grained retry_after_ms field in the body.
 func httpError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
+	body := map[string]any{"error": err.Error()}
+	if reason, wait, ok := degradation(err); ok {
+		code = http.StatusServiceUnavailable
+		secs := int((wait + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		body["reason"] = reason
+		body["retry_after_ms"] = wait.Milliseconds()
+	}
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
 }

@@ -20,7 +20,7 @@ import (
 
 func testServer(t *testing.T) (*httptest.Server, *store.Store) {
 	t.Helper()
-	st, err := store.Open(store.Config{
+	return testServerCfg(t, store.Config{
 		Shards:        2,
 		ShardMemBytes: 256 << 10,
 		Protocol:      "leaf",
@@ -28,6 +28,11 @@ func testServer(t *testing.T) (*httptest.Server, *store.Store) {
 		BatchMax:      8,
 		CheckpointDir: t.TempDir(),
 	})
+}
+
+func testServerCfg(t *testing.T, cfg store.Config) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(cfg)
 	if err != nil {
 		t.Fatalf("open store: %v", err)
 	}
@@ -340,5 +345,171 @@ func TestServerSpansEndpoint(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("bad n status %d, want 400", resp.StatusCode)
 		}
+	}
+}
+
+// TestServerDegraded503Payload pins the machine-readable degradation
+// contract: a key on a quarantined shard answers 503 with a
+// Retry-After header and a {"reason","retry_after_ms"} body, the
+// /v1/health endpoint reports "degraded" with 503, and the healthy
+// shard keeps serving throughout.
+func TestServerDegraded503Payload(t *testing.T) {
+	srv, _ := testServerCfg(t, store.Config{
+		Shards:          2,
+		ShardMemBytes:   256 << 10,
+		Protocol:        "leaf",
+		QueueDepth:      64,
+		BatchMax:        8,
+		CheckpointDir:   t.TempDir(),
+		HealMaxAttempts: -1, // keep the shard quarantined for the whole test
+	})
+
+	// Key 1 lives on shard 1 (key % shards).
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/kv/1", strings.NewReader("v"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Post(srv.URL+"/v1/quarantine?shard=1", "", nil)
+	if err != nil {
+		t.Fatalf("quarantine: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("quarantine status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/kv/1")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	var degraded struct {
+		Error        string `json:"error"`
+		Reason       string `json:"reason"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&degraded); err != nil {
+		t.Fatalf("decode 503 body: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("quarantined shard answered %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 missing Retry-After header")
+	}
+	if degraded.Reason != "failed" || degraded.RetryAfterMS <= 0 {
+		t.Fatalf("503 body %+v, want reason=failed with positive retry_after_ms", degraded)
+	}
+
+	// The other shard is untouched: key 0 still round-trips.
+	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/v1/kv/0", strings.NewReader("alive"))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("healthy put: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy shard status %d during quarantine", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/health")
+	if err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	defer resp.Body.Close()
+	var rep healthReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("decode health: %v", err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || rep.Status != "degraded" {
+		t.Fatalf("health = %d %q, want 503 degraded", resp.StatusCode, rep.Status)
+	}
+	if len(rep.Shards) != 2 || rep.Shards[1].Health != "quarantined" || rep.Shards[1].Serving {
+		t.Fatalf("health shards %+v, want shard 1 quarantined", rep.Shards)
+	}
+	if rep.Shards[0].Health != "serving" {
+		t.Fatalf("shard 0 health %q, want serving", rep.Shards[0].Health)
+	}
+	if rep.Shards[1].Failures == 0 {
+		t.Fatal("quarantined shard reports zero failures")
+	}
+}
+
+// TestServerQuarantineHealsLive drives the full degradation arc over
+// HTTP: quarantine a shard, watch /v1/health flip back to 200 "ok"
+// as the supervised heal loop recovers it, and verify the data
+// survived.
+func TestServerQuarantineHealsLive(t *testing.T) {
+	srv, _ := testServerCfg(t, store.Config{
+		Shards:         2,
+		ShardMemBytes:  256 << 10,
+		Protocol:       "leaf",
+		QueueDepth:     64,
+		BatchMax:       8,
+		CheckpointDir:  t.TempDir(),
+		HealBackoff:    2 * time.Millisecond,
+		HealBackoffMax: 20 * time.Millisecond,
+	})
+
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/kv/3", strings.NewReader("survives"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Post(srv.URL+"/v1/quarantine?shard=1", "", nil)
+	if err != nil {
+		t.Fatalf("quarantine: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("quarantine status %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var rep healthReport
+	for {
+		resp, err := http.Get(srv.URL + "/v1/health")
+		if err != nil {
+			t.Fatalf("health: %v", err)
+		}
+		code := resp.StatusCode
+		err = json.NewDecoder(resp.Body).Decode(&rep)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode health: %v", err)
+		}
+		if code == http.StatusOK && rep.Status == "ok" && rep.Shards[1].Heals >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard never healed: %d %+v", code, rep)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if rep.Shards[1].HealAttempts == 0 {
+		t.Fatal("healed shard reports zero heal attempts")
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/kv/3")
+	if err != nil {
+		t.Fatalf("get after heal: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get after heal status %d", resp.StatusCode)
+	}
+	var out struct {
+		ValueB64 string `json:"value_b64"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if v, _ := base64.StdEncoding.DecodeString(out.ValueB64); string(v) != "survives" {
+		t.Fatalf("post-heal value %q, want survives", v)
 	}
 }

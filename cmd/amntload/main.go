@@ -9,8 +9,15 @@
 // check — a response that decodes to the wrong key is counted as a
 // corruption (and fails the run).
 //
-// Overloaded responses (HTTP 503, the store's explicit backpressure)
-// are counted and retried-as-next-op rather than treated as errors.
+// 503 responses (backpressure, online recovery, or a quarantined
+// shard) are retried in place with jittered exponential backoff, up
+// to -retry-max attempts per op. The delay honors the server's
+// retry hint — the retry_after_ms body field first, then the
+// Retry-After header — before falling back to -retry-base doubling.
+// Retried attempts are counted separately (the `retries` report
+// field) and never observed into the latency histograms; only an op
+// whose retries are exhausted is charged as an overload with error
+// latency.
 //
 // With -batch N > 1 each client groups N consecutive trace ops into a
 // single POST /v1/batch request (puts and gets of the group travel
@@ -31,8 +38,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -53,6 +62,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "trace seed")
 		writeFrac = flag.Float64("write-frac", 0.5, "store fraction for -workload uniform")
 		batchN    = flag.Int("batch", 1, "ops per POST /v1/batch request (1 = per-op /v1/kv)")
+		retryMax  = flag.Int("retry-max", 4, "503 retries per op before counting it as an overload (0 = never retry)")
+		retryBase = flag.Duration("retry-base", 5*time.Millisecond, "backoff floor for 503 retries when the server sends no retry hint")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON (BENCH_store.json format)")
 	)
 	flag.Parse()
@@ -91,7 +102,12 @@ func main() {
 			defer wg.Done()
 			cs := spec
 			cs.Accesses = uint64(perClient)
-			results[i] = runClient(*addr, workload.NewTrace(cs, *seed+int64(i)), *keyspace, *valueLen, *batchN)
+			rp := &retryPolicy{
+				max:  *retryMax,
+				base: *retryBase,
+				rng:  rand.New(rand.NewSource(*seed ^ int64(i)*0x9E3779B9)),
+			}
+			results[i] = runClient(*addr, workload.NewTrace(cs, *seed+int64(i)), *keyspace, *valueLen, *batchN, rp)
 		}(i)
 	}
 	wg.Wait()
@@ -114,6 +130,7 @@ func main() {
 		merged.Puts += r.puts
 		merged.NotFound += r.notFound
 		merged.Overloads += r.overloads
+		merged.Retries += r.retries
 		merged.Corruptions += r.corruptions
 		merged.Errors += r.errors
 		merged.TimingSamples += r.timings
@@ -157,8 +174,8 @@ func main() {
 			fmt.Printf("error latency µs: p50=%d p99=%d max=%d\n",
 				merged.ErrLat.P50, merged.ErrLat.P99, merged.ErrLat.Max)
 		}
-		fmt.Printf("not-found=%d overloaded=%d errors=%d corruptions=%d\n",
-			merged.NotFound, merged.Overloads, merged.Errors, merged.Corruptions)
+		fmt.Printf("not-found=%d overloaded=%d retries=%d errors=%d corruptions=%d\n",
+			merged.NotFound, merged.Overloads, merged.Retries, merged.Errors, merged.Corruptions)
 		if merged.TimingSamples > 0 {
 			fmt.Printf("server phase breakdown (p50 µs over %d samples):", merged.TimingSamples)
 			for p := span.Phase(0); p < span.NumPhases; p++ {
@@ -192,17 +209,22 @@ func quantiles(h *stats.Histogram) latQuantiles {
 }
 
 type report struct {
-	Workload    string       `json:"workload"`
-	Clients     int          `json:"clients"`
-	Batch       int          `json:"batch"`
-	Keyspace    uint64       `json:"keyspace"`
-	ValueLen    int          `json:"value_len"`
-	DurationSec float64      `json:"duration_sec"`
-	OpsPerSec   float64      `json:"ops_per_sec"`
-	Gets        uint64       `json:"gets"`
-	Puts        uint64       `json:"puts"`
-	NotFound    uint64       `json:"not_found"`
+	Workload    string  `json:"workload"`
+	Clients     int     `json:"clients"`
+	Batch       int     `json:"batch"`
+	Keyspace    uint64  `json:"keyspace"`
+	ValueLen    int     `json:"value_len"`
+	DurationSec float64 `json:"duration_sec"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	Gets        uint64  `json:"gets"`
+	Puts        uint64  `json:"puts"`
+	NotFound    uint64  `json:"not_found"`
+	// Overloads counts ops whose 503 retries were exhausted; Retries
+	// counts the retried attempts themselves. Retried attempts are
+	// excluded from every latency histogram (including errors_latency)
+	// so backoff sleeps cannot masquerade as service time.
 	Overloads   uint64       `json:"overloads"`
+	Retries     uint64       `json:"retries"`
 	Errors      uint64       `json:"errors"`
 	Corruptions uint64       `json:"corruptions"`
 	GetLat      latQuantiles `json:"get_latency"`
@@ -219,6 +241,9 @@ type report struct {
 
 type clientResult struct {
 	gets, puts, notFound, overloads, corruptions, errors uint64
+	// retries counts 503 attempts that were retried in place rather
+	// than charged to the op's outcome.
+	retries uint64
 	// getLat/putLat hold successful request latencies only (a miss is
 	// a success); overloaded and failed requests land in errLat so
 	// backpressure spikes cannot skew the service-time quantiles.
@@ -256,6 +281,86 @@ func (res *clientResult) observeTiming(t *span.Timing) {
 	res.srvTotal.Observe(uint64(t.TotalUs))
 }
 
+// retryPolicy is one client's 503-retry behavior: up to max retries
+// per op with jittered exponential backoff, honoring the server's
+// retry hint when it sends one.
+type retryPolicy struct {
+	max  int
+	base time.Duration
+	rng  *rand.Rand
+}
+
+// retryHint extracts the server's preferred delay from a 503
+// response: the body's retry_after_ms field wins (finer-grained),
+// then the Retry-After header (whole seconds).
+func retryHint(resp *http.Response, body []byte) time.Duration {
+	var out struct {
+		RetryAfterMS int64 `json:"retry_after_ms"`
+	}
+	if json.Unmarshal(body, &out) == nil && out.RetryAfterMS > 0 {
+		return time.Duration(out.RetryAfterMS) * time.Millisecond
+	}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+// wait computes the sleep before retry n (1-based): the larger of
+// the doubling local base and the server hint, jittered over
+// [d/2, 3d/2) so synchronized clients spread out instead of
+// stampeding the recovering shard.
+func (rp *retryPolicy) wait(n int, hint time.Duration) time.Duration {
+	d := rp.base << uint(n-1)
+	if hint > d {
+		d = hint
+	}
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return d/2 + time.Duration(rp.rng.Int63n(int64(d)+1))
+}
+
+// attempt is one HTTP try: the response (body already drained and
+// closed), the raw body, and the attempt's wall time in
+// microseconds.
+type attempt struct {
+	resp *http.Response
+	body []byte
+	us   uint64
+	err  error
+}
+
+// timedDo issues one request, drains the body, and stamps the wall
+// time. The caller owns outcome classification.
+func timedDo(httpc *http.Client, req *http.Request) attempt {
+	t0 := time.Now()
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return attempt{us: uint64(time.Since(t0).Microseconds()), err: err}
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return attempt{resp: resp, body: body, us: uint64(time.Since(t0).Microseconds())}
+}
+
+// do runs fn with 503-retry. Only the final attempt is returned for
+// outcome accounting; each retried 503 increments res.retries and is
+// otherwise invisible — backoff sleeps never land in a latency
+// histogram.
+func (rp *retryPolicy) do(res *clientResult, fn func() attempt) attempt {
+	for n := 1; ; n++ {
+		a := fn()
+		if a.err != nil || a.resp.StatusCode != http.StatusServiceUnavailable || n > rp.max {
+			return a
+		}
+		res.retries++
+		time.Sleep(rp.wait(n, retryHint(a.resp, a.body)))
+	}
+}
+
 // valueFor derives a key's canonical value: the key stamped little-
 // endian into the first 8 bytes, deterministic filler after. Any GET
 // response must match this prefix regardless of which PUT it
@@ -269,7 +374,7 @@ func valueFor(key uint64, n int) []byte {
 	return v
 }
 
-func runClient(addr string, trace *workload.Trace, keyspace uint64, valueLen int, batch int) clientResult {
+func runClient(addr string, trace *workload.Trace, keyspace uint64, valueLen int, batch int, rp *retryPolicy) clientResult {
 	res := clientResult{
 		getLat: stats.NewHistogram(), putLat: stats.NewHistogram(),
 		errLat: stats.NewHistogram(), srvTotal: stats.NewHistogram(),
@@ -279,7 +384,7 @@ func runClient(addr string, trace *workload.Trace, keyspace uint64, valueLen int
 	}
 	httpc := &http.Client{Timeout: 10 * time.Second}
 	if batch > 1 {
-		runBatched(addr, trace, keyspace, valueLen, batch, httpc, &res)
+		runBatched(addr, trace, keyspace, valueLen, batch, httpc, &res, rp)
 		return res
 	}
 	for {
@@ -289,56 +394,54 @@ func runClient(addr string, trace *workload.Trace, keyspace uint64, valueLen int
 		}
 		key := (acc.VAddr / 64) % keyspace
 		url := fmt.Sprintf("%s/v1/kv/%d", addr, key)
-		t0 := time.Now()
 		if acc.Write {
-			req, _ := http.NewRequest(http.MethodPut, url, bytes.NewReader(valueFor(key, valueLen)))
-			resp, err := httpc.Do(req)
-			us := uint64(time.Since(t0).Microseconds())
+			a := rp.do(&res, func() attempt {
+				req, _ := http.NewRequest(http.MethodPut, url, bytes.NewReader(valueFor(key, valueLen)))
+				return timedDo(httpc, req)
+			})
 			res.puts++
-			if err != nil {
+			if a.err != nil {
 				res.errors++
-				res.errLat.Observe(us)
+				res.errLat.Observe(a.us)
 				continue
 			}
-			body, _ := io.ReadAll(resp.Body)
-			resp.Body.Close()
 			switch {
-			case resp.StatusCode == http.StatusServiceUnavailable:
+			case a.resp.StatusCode == http.StatusServiceUnavailable:
 				res.overloads++
-				res.errLat.Observe(us)
-			case resp.StatusCode/100 != 2:
+				res.errLat.Observe(a.us)
+			case a.resp.StatusCode/100 != 2:
 				res.errors++
-				res.errLat.Observe(us)
+				res.errLat.Observe(a.us)
 			default:
-				res.putLat.Observe(us)
+				res.putLat.Observe(a.us)
 				var out struct {
 					Timing *span.Timing `json:"timing"`
 				}
-				if json.Unmarshal(body, &out) == nil {
+				if json.Unmarshal(a.body, &out) == nil {
 					res.observeTiming(out.Timing)
 				}
 			}
 			continue
 		}
-		resp, err := httpc.Get(url)
-		us := uint64(time.Since(t0).Microseconds())
+		a := rp.do(&res, func() attempt {
+			req, _ := http.NewRequest(http.MethodGet, url, nil)
+			return timedDo(httpc, req)
+		})
 		res.gets++
-		if err != nil {
+		if a.err != nil {
 			res.errors++
-			res.errLat.Observe(us)
+			res.errLat.Observe(a.us)
 			continue
 		}
-		body, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		switch resp.StatusCode {
+		switch a.resp.StatusCode {
 		case http.StatusOK:
-			res.getLat.Observe(us)
+			res.getLat.Observe(a.us)
 			var out struct {
 				Key      uint64       `json:"key"`
 				ValueB64 string       `json:"value_b64"`
 				Timing   *span.Timing `json:"timing"`
 			}
-			if err := json.Unmarshal(body, &out); err != nil {
+			if err := json.Unmarshal(a.body, &out); err != nil {
 				res.errors++
 				continue
 			}
@@ -350,13 +453,13 @@ func runClient(addr string, trace *workload.Trace, keyspace uint64, valueLen int
 		case http.StatusNotFound:
 			// A miss is a valid answer: success latency, not error.
 			res.notFound++
-			res.getLat.Observe(us)
+			res.getLat.Observe(a.us)
 		case http.StatusServiceUnavailable:
 			res.overloads++
-			res.errLat.Observe(us)
+			res.errLat.Observe(a.us)
 		default:
 			res.errors++
-			res.errLat.Observe(us)
+			res.errLat.Observe(a.us)
 		}
 	}
 	return res
@@ -366,7 +469,7 @@ func runClient(addr string, trace *workload.Trace, keyspace uint64, valueLen int
 // per request. Per-key outcomes come back in place with HTTP 200, so
 // errors are classified by their message: backpressure counts as an
 // overload, a missing key as not-found, anything else as an error.
-func runBatched(addr string, trace *workload.Trace, keyspace uint64, valueLen int, batch int, httpc *http.Client, res *clientResult) {
+func runBatched(addr string, trace *workload.Trace, keyspace uint64, valueLen int, batch int, httpc *http.Client, res *clientResult, rp *retryPolicy) {
 	type batchOp struct {
 		Key      uint64 `json:"key"`
 		ValueB64 string `json:"value_b64,omitempty"`
@@ -379,9 +482,11 @@ func runBatched(addr string, trace *workload.Trace, keyspace uint64, valueLen in
 			return
 		}
 		body, _ := json.Marshal(map[string]any{"puts": puts, "gets": gets})
-		t0 := time.Now()
-		resp, err := httpc.Post(addr+"/v1/batch", "application/json", bytes.NewReader(body))
-		us := uint64(time.Since(t0).Microseconds())
+		a := rp.do(res, func() attempt {
+			req, _ := http.NewRequest(http.MethodPost, addr+"/v1/batch", bytes.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			return timedDo(httpc, req)
+		})
 		res.puts += uint64(len(puts))
 		res.gets += uint64(len(gets))
 		defer func() { puts, gets = puts[:0], gets[:0] }()
@@ -389,18 +494,16 @@ func runBatched(addr string, trace *workload.Trace, keyspace uint64, valueLen in
 		// latency; a failed round trip charges them all to errLat.
 		observeAll := func(h *stats.Histogram, n int) {
 			for i := 0; i < n; i++ {
-				h.Observe(us)
+				h.Observe(a.us)
 			}
 		}
-		if err != nil {
+		if a.err != nil {
 			res.errors += uint64(len(puts) + len(gets))
 			observeAll(res.errLat, len(puts)+len(gets))
 			return
 		}
-		raw, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			if resp.StatusCode == http.StatusServiceUnavailable {
+		if a.resp.StatusCode != http.StatusOK {
+			if a.resp.StatusCode == http.StatusServiceUnavailable {
 				res.overloads += uint64(len(puts) + len(gets))
 			} else {
 				res.errors += uint64(len(puts) + len(gets))
@@ -415,14 +518,18 @@ func runBatched(addr string, trace *workload.Trace, keyspace uint64, valueLen in
 			Gets   []batchOp    `json:"gets"`
 			Timing *span.Timing `json:"timing"`
 		}
-		if err := json.Unmarshal(raw, &out); err != nil {
+		if err := json.Unmarshal(a.body, &out); err != nil {
 			res.errors += uint64(len(puts) + len(gets))
 			return
 		}
 		res.observeTiming(out.Timing)
 		classify := func(msg string) {
 			switch {
-			case strings.Contains(msg, "queue full"):
+			case strings.Contains(msg, "queue full"),
+				strings.Contains(msg, "recovering"),
+				strings.Contains(msg, "shard failed"):
+				// Per-key retryable outcomes inside a 200 batch: counted
+				// like backpressure, not hard errors.
 				res.overloads++
 			case strings.Contains(msg, "not found"):
 				res.notFound++

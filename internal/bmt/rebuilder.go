@@ -1,0 +1,146 @@
+package bmt
+
+import (
+	"slices"
+
+	"amnt/internal/cme"
+	"amnt/internal/scm"
+)
+
+// Rebuilder is a resumable front for the rebuild engine: the same
+// leaf-hash / climb / persist pipeline as RebuildWith, but split into
+// bounded Step calls so a serving goroutine can interleave rebuild
+// work with foreground traffic. When no overrides are supplied the
+// final RebuildResult and the device statistics are bit-identical to
+// a serial RebuildWith over the same span (pinned by test), because
+// Step replays the serial loop exactly — sorted occupied leaves, one
+// Read + one Hash each — and the climb runs once at the end.
+//
+// Overrides support degraded serving: a foreground write that lands
+// on counter leaf L mid-rebuild snapshots L's pre-write content and
+// registers it as an override, so the audit hashes the frozen image
+// the crash left behind rather than the moving target. A nil override
+// marks a leaf that did not exist at freeze time (first-touch during
+// degraded serving); such leaves are excluded from the rebuild span
+// entirely. Override reads are charged through scm.AccountReads so
+// cycle sums stay comparable to the blocking path.
+//
+// A Rebuilder is single-goroutine: the owner calls Step/Done/Result
+// from one goroutine (the shard worker), never concurrently.
+type Rebuilder struct {
+	dev       *scm.Device
+	e         *cme.Engine
+	g         Geometry
+	zero      []uint64
+	rootLevel int
+	rootIdx   uint64
+	opts      RebuildOptions
+	frozen    map[uint64][]byte
+
+	idxs []uint64
+	digs []uint64
+	pos  int
+	res  RebuildResult
+	done bool
+	open bool // Progress.begin called, end pending
+}
+
+// NewRebuilder plans a resumable rebuild of the subtree rooted at
+// (rootLevel, rootIdx). frozen maps counter-leaf indices to their
+// content at freeze time: a non-nil entry overrides the device block,
+// a nil entry excludes the leaf (it was absent at freeze time). The
+// map may be nil. opts.Workers is ignored — Step always runs the
+// serial pipeline, since resumability is the point.
+func NewRebuilder(dev *scm.Device, e *cme.Engine, g Geometry, rootLevel int, rootIdx uint64, opts RebuildOptions, frozen map[uint64][]byte) *Rebuilder {
+	lo, hi := g.LeafSpan(rootLevel, rootIdx)
+	idxs := dev.Indices(scm.Counter)
+	n := 0
+	for _, li := range idxs {
+		if li < lo || li >= hi {
+			continue
+		}
+		if ov, ok := frozen[li]; ok && ov == nil {
+			continue // first-touch after freeze: not part of the crash image
+		}
+		idxs[n] = li
+		n++
+	}
+	idxs = idxs[:n]
+	slices.Sort(idxs)
+	r := &Rebuilder{
+		dev:       dev,
+		e:         e,
+		g:         g,
+		zero:      ZeroDigests(e, g),
+		rootLevel: rootLevel,
+		rootIdx:   rootIdx,
+		opts:      opts,
+		frozen:    frozen,
+		idxs:      idxs,
+		digs:      make([]uint64, len(idxs)),
+	}
+	r.opts.Progress.begin(uint64(len(idxs)))
+	r.open = true
+	return r
+}
+
+// Remaining reports how many source leaves have not been hashed yet.
+func (r *Rebuilder) Remaining() int { return len(r.idxs) - r.pos }
+
+// Done reports whether the rebuild has completed (Result is valid).
+func (r *Rebuilder) Done() bool { return r.done }
+
+// Step hashes up to maxLeaves more source leaves (all of them when
+// maxLeaves <= 0) and, once every leaf is consumed, runs the climb
+// and finishes the rebuild. It returns true when the rebuild is done.
+func (r *Rebuilder) Step(maxLeaves int) bool {
+	if r.done {
+		return true
+	}
+	end := len(r.idxs)
+	if maxLeaves > 0 && r.pos+maxLeaves < end {
+		end = r.pos + maxLeaves
+	}
+	var buf [scm.BlockSize]byte
+	for ; r.pos < end; r.pos++ {
+		idx := r.idxs[r.pos]
+		if ov := r.frozen[idx]; ov != nil {
+			copy(buf[:], ov)
+			r.res.Cycles += r.dev.AccountReads(scm.Counter, 1)
+		} else {
+			r.res.Cycles += r.dev.Read(scm.Counter, idx, buf[:])
+		}
+		r.res.CounterReads++
+		r.digs[r.pos] = Hash(r.e, r.g.Levels, buf[:])
+		r.opts.Progress.add(1)
+	}
+	if r.pos < len(r.idxs) {
+		return false
+	}
+	idxs, digs := climb(r.e, r.g, r.zero, r.g.Levels, r.rootLevel, r.idxs, r.digs,
+		persistEmitter(r.dev, r.g, r.rootLevel, r.rootIdx, r.opts.Persist, &r.res))
+	finish(r.zero, r.g, r.rootLevel, idxs, digs, r.rootIdx, &r.res)
+	r.done = true
+	r.close()
+	return true
+}
+
+// Result returns the completed rebuild's result. It panics if the
+// rebuild has not finished — poll Done or the return of Step first.
+func (r *Rebuilder) Result() RebuildResult {
+	if !r.done {
+		panic("bmt: Rebuilder.Result before completion")
+	}
+	return r.res
+}
+
+// Abort tears down an unfinished rebuild (closing its Progress
+// bracket). Safe to call on a finished or already-aborted Rebuilder.
+func (r *Rebuilder) Abort() { r.close() }
+
+func (r *Rebuilder) close() {
+	if r.open {
+		r.open = false
+		r.opts.Progress.end()
+	}
+}

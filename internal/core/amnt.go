@@ -364,6 +364,19 @@ func (a *AMNT) Crash() {
 // global root register.
 func (a *AMNT) Recover(now uint64) (mee.RecoveryReport, error) {
 	c := a.ctrl
+	res := bmt.RebuildWith(c.Device(), c.Engine(), c.Geometry(), a.level, a.subIdx, c.RebuildOptions(true))
+	return a.FinishRecover(now, res)
+}
+
+// RecoveryPlan implements mee.OnlineRecoverer: only the fast subtree
+// is stale after a crash, and counters + HMACs are write-through
+// everywhere, so the subtree rebuild can run while serving.
+func (a *AMNT) RecoveryPlan() (int, uint64, bool) { return a.level, a.subIdx, true }
+
+// FinishRecover implements mee.OnlineRecoverer: the audit-and-patch
+// half of Recover, over a rebuild that may have run incrementally.
+func (a *AMNT) FinishRecover(now uint64, res bmt.RebuildResult) (mee.RecoveryReport, error) {
+	c := a.ctrl
 	g := c.Geometry()
 	dev := c.Device()
 	rep := mee.RecoveryReport{
@@ -373,10 +386,11 @@ func (a *AMNT) Recover(now uint64) (mee.RecoveryReport, error) {
 
 	if a.level == 1 {
 		// Degenerate configuration (whole tree fast): the global root
-		// register is the subtree register.
+		// register is the subtree register. (Safe to sync here even
+		// after an online rebuild — degraded serving never touches the
+		// root register.)
 		a.subContent = c.Root()
 	}
-	res := bmt.RebuildWith(dev, c.Engine(), g, a.level, a.subIdx, c.RebuildOptions(true))
 	rep.CounterReads = res.CounterReads
 	rep.NodeWrites = res.NodeWrites
 	rep.Cycles = res.Cycles

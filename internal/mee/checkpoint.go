@@ -34,6 +34,11 @@ const checkpointMagic = "AMNTCKP1"
 func (c *Controller) SaveCheckpoint(w io.Writer) error {
 	c.enter()
 	defer c.exit()
+	if c.session != nil {
+		// Mid-recovery device state (a half-rebuilt tree) must never
+		// become a checkpoint; the caller finishes the session first.
+		return ErrRecovering
+	}
 	if c.trace != nil {
 		c.trace.Emit(telemetry.Event{
 			Kind: telemetry.EvCheckpoint,
@@ -117,6 +122,10 @@ func (c *Controller) LoadCheckpoint(r io.Reader) error {
 		return fmt.Errorf("mee: checkpoint device: %w", err)
 	}
 	// Reboot semantics: volatile state is gone.
+	if c.session != nil {
+		c.session.abort()
+		c.session = nil
+	}
 	c.meta.InvalidateAll()
 	c.buf = make(map[MetaKey]*[scm.BlockSize]byte)
 	c.wq.reset()

@@ -124,6 +124,11 @@ func (e *Epoch) Commit() (EpochResult, error) {
 	c := e.c
 	c.enter()
 	defer c.exit()
+	if c.session != nil {
+		// A group commit climbs the (mid-rebuild) tree; the serving
+		// layer writes per-op while a recovery session is active.
+		return EpochResult{}, ErrRecovering
+	}
 	return c.commitEpoch(e.now, e.ops)
 }
 

@@ -279,6 +279,10 @@ type Controller struct {
 	// recovery path reports into (via RebuildOptions). All-atomic and
 	// read concurrently by telemetry gauges while recovery runs.
 	recProg *bmt.Progress
+	// session, when non-nil, is the active online recovery session:
+	// the controller serves degraded (see RecoverySession) until the
+	// owner finishes it. Only touched under the single-writer guard.
+	session *RecoverySession
 }
 
 // enter claims the controller for one top-level operation; exit
@@ -491,6 +495,18 @@ func (c *Controller) FetchVerified(now uint64, level int, idx uint64) ([]byte, u
 		return c.buf[key][:], cycles, nil
 	}
 	c.levelHits[level].Observe(false)
+	if c.session != nil {
+		// Degraded mode: the tree above the leaves is mid-rebuild, so
+		// parent authentication is impossible. Counter leaves load
+		// provisionally (the per-access data MAC still binds their
+		// values; the deferred rebuild audit covers replay). Inner
+		// nodes are genuinely not reconstructible yet — fast-fail so
+		// the caller can retry after recovery.
+		if level == c.geo.Levels {
+			return c.fetchProvisional(now, key, cycles)
+		}
+		return nil, cycles, ErrRecovering
+	}
 	// Miss: fetch from the device and authenticate against the parent
 	// (the miss is recorded in cache stats when install allocates).
 	// An inner node never written is the zero-tree node for its level
@@ -761,11 +777,21 @@ func (c *Controller) writeBlock(now uint64, b uint64, src []byte) (uint64, error
 	}
 	c.st.DataWrites.Inc()
 	var cycles uint64
-	pc := c.policy.OnDataWrite(now, b)
-	c.st.PolicyCycles.Add(pc)
-	cycles += pc
+	if c.session == nil {
+		// Hot-region tracking (and the subtree movements it can
+		// trigger) pauses during online recovery: movement climbs the
+		// tree, which is mid-rebuild.
+		pc := c.policy.OnDataWrite(now, b)
+		c.st.PolicyCycles.Add(pc)
+		cycles += pc
+	}
 
 	ctrIdx := counters.CounterIndex(b)
+	if c.session != nil {
+		// Freeze the leaf's pre-write content for the rebuild audit
+		// before anything below can mutate it.
+		c.session.noteWrite(ctrIdx)
+	}
 	slot := counters.MinorSlot(b)
 	ctrContent, cc, err := c.FetchVerified(now+cycles, c.geo.Levels, ctrIdx)
 	cycles += cc
@@ -824,6 +850,14 @@ func (c *Controller) writeBlock(now uint64, b uint64, src []byte) (uint64, error
 	if c.policy.WriteThroughCounter(ctrIdx) {
 		cycles += c.PersistMeta(now+cycles, ckey, false)
 	}
+	if c.session != nil {
+		// Degraded write: data, HMAC, and counter are durable (the
+		// policy writes all three through — an OnlineRecoverer
+		// requirement); the ancestral climb and the root-register
+		// update are deferred to the session's Finish, which patches
+		// every dirty leaf's path after the rebuild audit passes.
+		return cycles, nil
+	}
 
 	// Walk the ancestral path to the root, updating digests.
 	childDigest := bmt.Hash(c.eng, c.geo.Levels, ctrContent)
@@ -852,7 +886,7 @@ func (c *Controller) writeBlock(now uint64, b uint64, src []byte) (uint64, error
 		childIdx = idx
 	}
 	bmt.SetChildDigest(c.rootNV[:], bmt.ChildSlot(childIdx), childDigest)
-	pc = c.policy.OnWriteComplete(now+cycles, b)
+	pc := c.policy.OnWriteComplete(now+cycles, b)
 	c.st.PolicyCycles.Add(pc)
 	cycles += pc
 	return cycles, nil
@@ -949,6 +983,12 @@ func (c *Controller) Crash() {
 			Note: "power failure: volatile state lost",
 		})
 	}
+	if c.session != nil {
+		// Power failure mid-recovery: the session dies with the other
+		// volatile state; the next Recover/BeginRecovery starts over.
+		c.session.abort()
+		c.session = nil
+	}
 	if p, ok := c.policy.(PreCrasher); ok {
 		p.PreCrash(0)
 	}
@@ -966,6 +1006,9 @@ func (c *Controller) Crash() {
 func (c *Controller) Recover(now uint64) (RecoveryReport, error) {
 	c.enter()
 	defer c.exit()
+	if c.session != nil {
+		return RecoveryReport{}, ErrRecovering
+	}
 	c.recProg.Reset()
 	start := time.Now()
 	rep, err := c.policy.Recover(now)
@@ -999,6 +1042,11 @@ func (c *Controller) Recover(now uint64) (RecoveryReport, error) {
 func (c *Controller) VerifyAll(now uint64) error {
 	c.enter()
 	defer c.exit()
+	if c.session != nil {
+		// Provisional counter fetches would make this check vacuous
+		// for the tree; finish the recovery session first.
+		return ErrRecovering
+	}
 	var buf [scm.BlockSize]byte
 	for _, b := range c.dev.Indices(scm.Data) {
 		if _, err := c.readBlock(now, b, buf[:]); err != nil {

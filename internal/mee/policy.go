@@ -118,6 +118,15 @@ func (b *base) Overhead() Overhead { return Overhead{} }
 func (b *base) rebuildAndAdopt(name string) (RecoveryReport, error) {
 	c := b.ctrl
 	res := bmt.RebuildWith(c.Device(), c.Engine(), c.Geometry(), 1, 0, c.RebuildOptions(true))
+	return b.adoptRebuild(name, res)
+}
+
+// adoptRebuild is rebuildAndAdopt's audit half, shared with online
+// recovery (where the rebuild ran incrementally): translate a
+// finished whole-tree rebuild into a report and compare its root
+// against the NV register.
+func (b *base) adoptRebuild(name string, res bmt.RebuildResult) (RecoveryReport, error) {
+	c := b.ctrl
 	rep := RecoveryReport{
 		Protocol:      name,
 		CounterReads:  res.CounterReads,
@@ -218,6 +227,17 @@ func (*Leaf) WriteThroughTree(int, uint64) bool { return false }
 // Recover implements Policy with a full bottom-up reconstruction.
 func (l *Leaf) Recover(uint64) (RecoveryReport, error) {
 	return l.rebuildAndAdopt(l.Name())
+}
+
+// RecoveryPlan implements OnlineRecoverer: leaf recovery is one
+// whole-tree rebuild, and counters + HMACs are write-through, so the
+// controller may serve degraded while it runs.
+func (*Leaf) RecoveryPlan() (int, uint64, bool) { return 1, 0, true }
+
+// FinishRecover implements OnlineRecoverer: audit the incrementally
+// rebuilt root against the NV register, exactly as Recover does.
+func (l *Leaf) FinishRecover(_ uint64, res bmt.RebuildResult) (RecoveryReport, error) {
+	return l.adoptRebuild(l.Name(), res)
 }
 
 // --- Osiris -----------------------------------------------------------

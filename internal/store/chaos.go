@@ -140,11 +140,11 @@ func (sh *shard) runChaos(spec ChaosSpec) *ChaosResult {
 		sh.fail()
 	}
 
-	if !sh.failed.Load() {
+	if shardHealth(sh.health.Load()) != healthQuarantined {
 		sh.inj = faults.NewInjector(sh.ctrl)
 		sh.inj.Attach()
 	}
-	res.Serving = !sh.failed.Load()
+	res.Serving = shardHealth(sh.health.Load()) != healthQuarantined
 	res.WallMS = float64(time.Since(start).Microseconds()) / 1e3
 	return res
 }

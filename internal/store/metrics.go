@@ -18,6 +18,15 @@ type shardMetrics struct {
 	misses, integrityErrs, otherErrs, overloads  atomic.Uint64
 	batches, batchItems, failures                atomic.Uint64
 
+	// Degraded-serving and quarantine-heal accounting: requests
+	// nacked because metadata was not yet reconstructible, heal
+	// attempts started, and heals that restored service.
+	recoveringNacks, healAttempts, heals atomic.Uint64
+	// Cumulative work served under recovery sessions: writes whose
+	// climb was deferred to the finish audit, and counter leaves
+	// loaded provisionally (authenticated later by that audit).
+	degradedWrites, provisionalLoads atomic.Uint64
+
 	chaosRuns, chaosRecovered, chaosDetected atomic.Uint64
 	chaosRepaired, chaosViolations           atomic.Uint64
 
@@ -46,7 +55,13 @@ func (sh *shard) publish() {
 
 // ShardSnapshot is one shard's published counters.
 type ShardSnapshot struct {
-	Shard          int     `json:"shard"`
+	Shard int `json:"shard"`
+	// Health is the serving state: "serving", "recovering" (tree
+	// rebuild in flight; degraded traffic may still be admitted), or
+	// "quarantined" (heal loop retrying).
+	Health string `json:"health"`
+	// Serving is whether the shard currently accepts requests — true
+	// for both "serving" and degraded "recovering" shards.
 	Serving        bool    `json:"serving"`
 	QueueLen       int     `json:"queue_len"`
 	Gets           uint64  `json:"gets"`
@@ -55,6 +70,12 @@ type ShardSnapshot struct {
 	Flushes        uint64  `json:"flushes"`
 	Checkpoints    uint64  `json:"checkpoints"`
 	Recoveries     uint64  `json:"recoveries"`
+	Failures       uint64  `json:"failures"`
+	HealAttempts   uint64  `json:"heal_attempts"`
+	Heals          uint64  `json:"heals"`
+	RecoveringNack uint64  `json:"recovering_nacks"`
+	DegradedWrites uint64  `json:"degraded_writes"`
+	ProvisionalRds uint64  `json:"provisional_loads"`
 	Overloads      uint64  `json:"overloads"`
 	IntegrityErrs  uint64  `json:"integrity_errors"`
 	OtherErrs      uint64  `json:"other_errors"`
@@ -89,32 +110,40 @@ func (s *Store) Stats() Snapshot {
 	out := Snapshot{Shards: make([]ShardSnapshot, len(s.shards)), Overloads: s.overloads.Load()}
 	for i, sh := range s.shards {
 		m := &sh.m
+		health := shardHealth(sh.health.Load())
 		ss := ShardSnapshot{
-			Shard:         i,
-			Serving:       !sh.failed.Load(),
-			QueueLen:      len(sh.ch),
-			Gets:          m.gets.Load(),
-			Puts:          m.puts.Load(),
-			Misses:        m.misses.Load(),
-			Flushes:       m.flushes.Load(),
-			Checkpoints:   m.checkpoints.Load(),
-			Recoveries:    m.recoveries.Load(),
-			Overloads:     m.overloads.Load(),
-			IntegrityErrs: m.integrityErrs.Load(),
-			OtherErrs:     m.otherErrs.Load(),
-			Batches:       m.batches.Load(),
-			BatchItems:    m.batchItems.Load(),
-			Epochs:        m.epochs.Load(),
-			EpochOps:      m.epochOps.Load(),
-			EpochFallback: m.epochFallbacks.Load(),
-			ChaosRuns:     m.chaosRuns.Load(),
-			Cycles:        m.cycles.Load(),
-			DataReads:     m.dataReads.Load(),
-			DataWrites:    m.dataWrites.Load(),
-			MetaFetches:   m.metaFetches.Load(),
-			PostedWrites:  m.postedWrites.Load(),
-			StallCycles:   m.stallCycles.Load(),
-			MergedWrites:  m.mergedWrites.Load(),
+			Shard:          i,
+			Health:         health.String(),
+			Serving:        health != healthQuarantined,
+			QueueLen:       len(sh.ch),
+			Gets:           m.gets.Load(),
+			Puts:           m.puts.Load(),
+			Misses:         m.misses.Load(),
+			Flushes:        m.flushes.Load(),
+			Checkpoints:    m.checkpoints.Load(),
+			Recoveries:     m.recoveries.Load(),
+			Failures:       m.failures.Load(),
+			HealAttempts:   m.healAttempts.Load(),
+			Heals:          m.heals.Load(),
+			RecoveringNack: m.recoveringNacks.Load(),
+			DegradedWrites: m.degradedWrites.Load(),
+			ProvisionalRds: m.provisionalLoads.Load(),
+			Overloads:      m.overloads.Load(),
+			IntegrityErrs:  m.integrityErrs.Load(),
+			OtherErrs:      m.otherErrs.Load(),
+			Batches:        m.batches.Load(),
+			BatchItems:     m.batchItems.Load(),
+			Epochs:         m.epochs.Load(),
+			EpochOps:       m.epochOps.Load(),
+			EpochFallback:  m.epochFallbacks.Load(),
+			ChaosRuns:      m.chaosRuns.Load(),
+			Cycles:         m.cycles.Load(),
+			DataReads:      m.dataReads.Load(),
+			DataWrites:     m.dataWrites.Load(),
+			MetaFetches:    m.metaFetches.Load(),
+			PostedWrites:   m.postedWrites.Load(),
+			StallCycles:    m.stallCycles.Load(),
+			MergedWrites:   m.mergedWrites.Load(),
 		}
 		if ps := sh.prog.Snapshot(); ps.Total > 0 {
 			ss.RecoveryDone = ps.Done
@@ -179,11 +208,20 @@ func (s *Store) RegisterMetrics(reg *telemetry.Registry) {
 		reg.Gauge(p+".recovery_wall_ms", "wall time of the latest completed recovery, ms", func() float64 {
 			return float64(sh.prog.Snapshot().WallNs) / 1e6
 		})
+		reg.Counter(p+".failures", "recovery-contract violations that quarantined the shard", sh.m.failures.Load)
+		reg.Counter(p+".heal_attempts", "supervised heal attempts on the quarantined shard", sh.m.healAttempts.Load)
+		reg.Counter(p+".heals", "heal attempts that restored service", sh.m.heals.Load)
+		reg.Counter(p+".recovering_nacks", "requests nacked with ErrRecovering", sh.m.recoveringNacks.Load)
+		reg.Counter(p+".degraded_writes", "writes served during recovery sessions (climb deferred)", sh.m.degradedWrites.Load)
+		reg.Counter(p+".provisional_loads", "counter leaves loaded provisionally during recovery sessions", sh.m.provisionalLoads.Load)
 		reg.Gauge(p+".serving", "1 while the shard accepts requests", func() float64 {
-			if sh.failed.Load() {
+			if shardHealth(sh.health.Load()) == healthQuarantined {
 				return 0
 			}
 			return 1
+		})
+		reg.Gauge(p+".health", "serving state: 0 serving, 1 recovering, 2 quarantined", func() float64 {
+			return float64(sh.health.Load())
 		})
 	}
 	reg.Counter("store.gets", "get requests served, all shards", func() uint64 {
@@ -237,11 +275,41 @@ func (s *Store) RegisterMetrics(reg *telemetry.Registry) {
 	reg.Gauge("store.shards_serving", "shards currently in service", func() float64 {
 		var n float64
 		for _, sh := range s.shards {
-			if !sh.failed.Load() {
+			if shardHealth(sh.health.Load()) != healthQuarantined {
 				n++
 			}
 		}
 		return n
+	})
+	reg.Gauge("store.shards_recovering", "shards with a rebuild in flight", func() float64 {
+		var n float64
+		for _, sh := range s.shards {
+			if shardHealth(sh.health.Load()) == healthRecovering {
+				n++
+			}
+		}
+		return n
+	})
+	reg.Gauge("store.shards_quarantined", "shards waiting on the heal loop", func() float64 {
+		var n float64
+		for _, sh := range s.shards {
+			if shardHealth(sh.health.Load()) == healthQuarantined {
+				n++
+			}
+		}
+		return n
+	})
+	reg.Counter("store.heal_attempts", "supervised heal attempts, all shards", func() uint64 {
+		return s.sum(func(m *shardMetrics) *atomic.Uint64 { return &m.healAttempts })
+	})
+	reg.Counter("store.heals", "heal attempts that restored service, all shards", func() uint64 {
+		return s.sum(func(m *shardMetrics) *atomic.Uint64 { return &m.heals })
+	})
+	reg.Counter("store.degraded_writes", "writes served during recovery sessions, all shards", func() uint64 {
+		return s.sum(func(m *shardMetrics) *atomic.Uint64 { return &m.degradedWrites })
+	})
+	reg.Counter("store.recovering_nacks", "requests nacked with ErrRecovering, all shards", func() uint64 {
+		return s.sum(func(m *shardMetrics) *atomic.Uint64 { return &m.recoveringNacks })
 	})
 }
 

@@ -1,0 +1,593 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"amnt/internal/bmt"
+	"amnt/internal/faults"
+	"amnt/internal/mee"
+	"amnt/internal/scm"
+	"amnt/internal/stats"
+)
+
+// newBareShard hand-builds a shard around a real controller without
+// starting its worker goroutine, so tests can drive the degraded-mode
+// state machine deterministically from one goroutine.
+func newBareShard(t *testing.T, protocol string, mem uint64) *shard {
+	t.Helper()
+	policy, err := mee.NewPolicy(protocol, mee.PolicyOptions{})
+	if err != nil {
+		t.Fatalf("policy %q: %v", protocol, err)
+	}
+	dev := scm.New(scm.Config{CapacityBytes: mem})
+	ctrl := mee.New(dev, mee.Config{}, policy)
+	sh := &shard{
+		id:             0,
+		dev:            dev,
+		ctrl:           ctrl,
+		ch:             make(chan request, 8),
+		done:           make(chan struct{}),
+		blocks:         mem / scm.BlockSize,
+		batchMax:       8,
+		epochMax:       1,
+		epochSizes:     stats.NewHistogram(),
+		epochCycles:    stats.NewHistogram(),
+		prog:           &bmt.Progress{},
+		recChunk:       1,
+		healBackoff:    time.Millisecond,
+		healBackoffMax: 4 * time.Millisecond,
+		healMax:        8,
+	}
+	ctrl.SetRecoveryProgress(sh.prog)
+	sh.inj = faults.NewInjector(ctrl)
+	sh.inj.Attach()
+	return sh
+}
+
+func barePut(t *testing.T, sh *shard, block uint64, v []byte) {
+	t.Helper()
+	resp := sh.serve(request{op: opPut, block: block, value: v})
+	if resp.err != nil {
+		t.Fatalf("put block %d: %v", block, resp.err)
+	}
+}
+
+func bareGet(t *testing.T, sh *shard, block uint64) ([]byte, error) {
+	t.Helper()
+	resp := sh.serve(request{op: opGet, block: block})
+	return resp.value, resp.err
+}
+
+// TestShardDegradedServingDeterministic drives the full degraded-mode
+// state machine by hand: power cycle into an online session, serve
+// verified traffic between rebuild chunks, finish back to serving,
+// and survive a second cycle through the barrier path.
+func TestShardDegradedServingDeterministic(t *testing.T) {
+	sh := newBareShard(t, "leaf", 256<<10)
+	const keys = 128
+	for b := uint64(0); b < keys; b++ {
+		barePut(t, sh, b, stamp(b))
+	}
+	if err := sh.powerCycle(); err != nil {
+		t.Fatalf("power cycle: %v", err)
+	}
+	if sh.session == nil {
+		t.Fatal("leaf shard must power-cycle into an online session")
+	}
+	if h := shardHealth(sh.health.Load()); h != healthRecovering {
+		t.Fatalf("health = %s, want recovering", h)
+	}
+	if !sh.degraded.Load() {
+		t.Fatal("degraded flag not set during online recovery")
+	}
+
+	// Interleave a degraded overwrite + verified readback with every
+	// rebuild chunk until the session is done.
+	b := uint64(0)
+	for {
+		done := sh.session.Step(sh.recChunk)
+		barePut(t, sh, b%keys, stamp(b%keys))
+		v, err := bareGet(t, sh, b%keys)
+		if err != nil {
+			t.Fatalf("degraded get %d: %v", b%keys, err)
+		}
+		checkStamp(t, b%keys, v)
+		b++
+		if done {
+			break
+		}
+	}
+	sh.finishRecovery()
+	if h := shardHealth(sh.health.Load()); h != healthServing {
+		t.Fatalf("health after finish = %s, want serving", h)
+	}
+	if sh.session != nil || sh.degraded.Load() {
+		t.Fatal("session state not cleared after finish")
+	}
+	if sh.m.degradedWrites.Load() == 0 {
+		t.Fatal("no degraded writes recorded")
+	}
+	if sh.m.recoveries.Load() != 1 {
+		t.Fatalf("recoveries = %d, want 1", sh.m.recoveries.Load())
+	}
+	for b := uint64(0); b < keys; b++ {
+		v, err := bareGet(t, sh, b)
+		if err != nil {
+			t.Fatalf("post-recovery get %d: %v", b, err)
+		}
+		checkStamp(t, b, v)
+	}
+	// The patched tree must be a valid crash image: cycle again and
+	// complete the session synchronously via the control barrier.
+	if err := sh.powerCycle(); err != nil {
+		t.Fatalf("second power cycle: %v", err)
+	}
+	sh.barrier()
+	if h := shardHealth(sh.health.Load()); h != healthServing {
+		t.Fatalf("health after barrier = %s, want serving", h)
+	}
+	for b := uint64(0); b < keys; b++ {
+		v, err := bareGet(t, sh, b)
+		if err != nil {
+			t.Fatalf("post-barrier get %d: %v", b, err)
+		}
+		checkStamp(t, b, v)
+	}
+}
+
+// TestStoreAdmissionByHealth pins the submit fast path per health
+// state: quarantined nacks ErrShardFailed, a blocking (non-degraded)
+// recovery nacks ErrRecovering, and a degraded recovery admits.
+func TestStoreAdmissionByHealth(t *testing.T) {
+	sh := &shard{id: 0, ch: make(chan request, 4), done: make(chan struct{}), blocks: 1 << 10, batchMax: 1}
+	s := &Store{shards: []*shard{sh}}
+	ctx := context.Background()
+
+	sh.health.Store(int32(healthQuarantined))
+	if err := s.Put(ctx, 0, []byte("x")); !errors.Is(err, ErrShardFailed) {
+		t.Fatalf("quarantined put: %v, want ErrShardFailed", err)
+	}
+	if ss := s.Stats().Shards[0]; ss.Health != "quarantined" || ss.Serving {
+		t.Fatalf("quarantined snapshot: %+v", ss)
+	}
+
+	sh.health.Store(int32(healthRecovering))
+	if err := s.Put(ctx, 0, []byte("x")); !errors.Is(err, ErrRecovering) {
+		t.Fatalf("blocking-recovery put: %v, want ErrRecovering", err)
+	}
+	if n := sh.m.recoveringNacks.Load(); n != 1 {
+		t.Fatalf("recovering_nacks = %d, want 1", n)
+	}
+	if ss := s.Stats().Shards[0]; ss.Health != "recovering" || !ss.Serving {
+		t.Fatalf("recovering snapshot: %+v", ss)
+	}
+
+	// Degraded recovery admits: with no worker the request parks until
+	// the deadline, proving it entered the queue.
+	sh.degraded.Store(true)
+	dctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if err := s.Put(dctx, 0, []byte("x")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("degraded put: %v, want deadline (admitted)", err)
+	}
+
+	sh.health.Store(int32(healthServing))
+	if ss := s.Stats().Shards[0]; ss.Health != "serving" || !ss.Serving {
+		t.Fatalf("serving snapshot: %+v", ss)
+	}
+}
+
+// TestShardHealBackoffAndEscalation: a quarantined shard with
+// corrupted media fails its in-place heal, backs off exponentially to
+// the cap, and — when a checkpoint exists — escalates to a
+// checkpoint restore that clears the damage and restores service.
+func TestShardHealBackoffAndEscalation(t *testing.T) {
+	sh := newBareShard(t, "leaf", 128<<10)
+	sh.ckpt = filepath.Join(t.TempDir(), "shard.ckpt")
+	const keys = 64
+	for b := uint64(0); b < keys; b++ {
+		barePut(t, sh, b, stamp(b))
+	}
+	sh.now += sh.ctrl.Flush(sh.now)
+	if err := sh.checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	// Corrupt a counter block on media: every in-place recovery must
+	// fail its audit until the checkpoint restore replaces the image.
+	idxs := sh.dev.Indices(scm.Counter)
+	if len(idxs) == 0 {
+		t.Fatal("no counters on device")
+	}
+	if !sh.dev.TamperByte(scm.Counter, idxs[0], 3, 0x20) {
+		t.Fatal("tamper failed")
+	}
+	sh.inj.Detach()
+	sh.fail()
+	if h := shardHealth(sh.health.Load()); h != healthQuarantined {
+		t.Fatalf("health after fail = %s", h)
+	}
+	if sh.healWait != sh.healBackoff {
+		t.Fatalf("initial backoff = %v, want %v", sh.healWait, sh.healBackoff)
+	}
+
+	// Attempt 1 recovers in place and must fail on the tampered media.
+	sh.healOnce()
+	if h := shardHealth(sh.health.Load()); h != healthQuarantined {
+		t.Fatal("in-place heal succeeded on tampered media")
+	}
+	if sh.healWait != 2*sh.healBackoff {
+		t.Fatalf("backoff after failure = %v, want %v", sh.healWait, 2*sh.healBackoff)
+	}
+	// Attempt 2 escalates to the checkpoint image, clearing the
+	// tamper.
+	sh.healOnce()
+	if h := shardHealth(sh.health.Load()); h != healthServing {
+		t.Fatal("checkpoint-restore heal did not restore service")
+	}
+	if got, want := sh.m.healAttempts.Load(), uint64(2); got != want {
+		t.Fatalf("heal_attempts = %d, want %d", got, want)
+	}
+	if got := sh.m.heals.Load(); got != 1 {
+		t.Fatalf("heals = %d, want 1", got)
+	}
+	for b := uint64(0); b < keys; b++ {
+		v, err := bareGet(t, sh, b)
+		if err != nil {
+			t.Fatalf("post-heal get %d: %v", b, err)
+		}
+		checkStamp(t, b, v)
+	}
+}
+
+// TestShardHealBackoffCap: without a checkpoint every attempt is
+// in-place; repeated failures saturate the backoff at the cap, and a
+// later attempt succeeds once the media damage is reverted — with no
+// data loss, since in-place healing never discards writes.
+func TestShardHealBackoffCap(t *testing.T) {
+	sh := newBareShard(t, "leaf", 128<<10)
+	const keys = 48
+	for b := uint64(0); b < keys; b++ {
+		barePut(t, sh, b, stamp(b))
+	}
+	sh.now += sh.ctrl.Flush(sh.now)
+	idxs := sh.dev.Indices(scm.Counter)
+	if !sh.dev.TamperByte(scm.Counter, idxs[0], 7, 0x11) {
+		t.Fatal("tamper failed")
+	}
+	sh.inj.Detach()
+	sh.fail()
+	for i := 0; i < 5; i++ {
+		sh.healOnce()
+		if h := shardHealth(sh.health.Load()); h != healthQuarantined {
+			t.Fatalf("heal attempt %d succeeded on tampered media", i+1)
+		}
+	}
+	if sh.healWait != sh.healBackoffMax {
+		t.Fatalf("backoff = %v, want cap %v", sh.healWait, sh.healBackoffMax)
+	}
+	if got := sh.m.healAttempts.Load(); got != 5 {
+		t.Fatalf("heal_attempts = %d, want 5", got)
+	}
+	// Revert the damage (XOR is its own inverse); the next attempt
+	// restores service with every write intact.
+	sh.dev.TamperByte(scm.Counter, idxs[0], 7, 0x11)
+	sh.healOnce()
+	if h := shardHealth(sh.health.Load()); h != healthServing {
+		t.Fatal("heal after media repair did not restore service")
+	}
+	for b := uint64(0); b < keys; b++ {
+		v, err := bareGet(t, sh, b)
+		if err != nil {
+			t.Fatalf("post-heal get %d: %v", b, err)
+		}
+		checkStamp(t, b, v)
+	}
+}
+
+// TestStoreQuarantineHealsLive quarantines a live shard through the
+// public API and waits for the supervised heal loop to restore it,
+// with every acknowledged key intact.
+func TestStoreQuarantineHealsLive(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 2
+	cfg.HealBackoff = 2 * time.Millisecond
+	cfg.HealBackoffMax = 10 * time.Millisecond
+	s := mustOpen(t, cfg)
+	ctx := context.Background()
+	const keyspace = 100
+	for key := uint64(0); key < keyspace; key++ {
+		if err := s.Put(ctx, key, stamp(key)); err != nil {
+			t.Fatalf("put %d: %v", key, err)
+		}
+	}
+	if err := s.Quarantine(ctx, 1); err != nil {
+		t.Fatalf("quarantine: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ss := s.Stats().Shards[1]
+		if ss.Health == "serving" && ss.Heals >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard 1 never healed: %+v", ss)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	snap := s.Stats()
+	if snap.Shards[1].Failures == 0 || snap.Shards[1].HealAttempts == 0 {
+		t.Fatalf("quarantine episode not accounted: %+v", snap.Shards[1])
+	}
+	for key := uint64(0); key < keyspace; key++ {
+		v, err := s.Get(ctx, key)
+		if err != nil {
+			t.Fatalf("post-heal get %d: %v", key, err)
+		}
+		checkStamp(t, key, v)
+	}
+}
+
+// TestStoreQuarantineExhaustsAttempts: with healing disabled the
+// quarantined shard stays down — the pre-heal behavior, selectable.
+func TestStoreQuarantineExhaustsAttempts(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 2
+	cfg.HealMaxAttempts = -1
+	s := mustOpen(t, cfg)
+	ctx := context.Background()
+	if err := s.Put(ctx, 1, stamp(1)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := s.Quarantine(ctx, 1); err != nil {
+		t.Fatalf("quarantine: %v", err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if ss := s.Stats().Shards[1]; ss.Health != "quarantined" || ss.HealAttempts != 0 {
+		t.Fatalf("heal ran with healing disabled: %+v", ss)
+	}
+	if err := s.Put(ctx, 1, stamp(1)); !errors.Is(err, ErrShardFailed) {
+		t.Fatalf("put to dead shard: %v, want ErrShardFailed", err)
+	}
+	// The untouched shard is unaffected.
+	if err := s.Put(ctx, 0, stamp(0)); err != nil {
+		t.Fatalf("put to healthy shard: %v", err)
+	}
+}
+
+// TestStoreServeDuringRecoveryMatrix is the chaos-matrix extension
+// for online recovery: for every protocol × fault kind, concurrent
+// clients hammer the store while every shard rebuilds online, with
+// zero integrity violations and no foreign or stale-and-silent reads;
+// then the standard fault injection runs, and finally the victim
+// shard is quarantined and must heal back into service.
+func TestStoreServeDuringRecoveryMatrix(t *testing.T) {
+	for _, protocol := range []string{"leaf", "amnt"} {
+		for _, kind := range []string{"torn", "drop", "reorder", "bitrot"} {
+			t.Run(protocol+"/"+kind, func(t *testing.T) {
+				cfg := testConfig()
+				cfg.Shards = 2
+				cfg.Protocol = protocol
+				cfg.RecoveryChunk = 1 // maximize the degraded window
+				cfg.HealBackoff = 2 * time.Millisecond
+				cfg.HealBackoffMax = 10 * time.Millisecond
+				s := mustOpen(t, cfg)
+				ctx := context.Background()
+				const keyspace = uint64(200)
+				// Two identical seed rounds (see TestStoreChaosMatrix:
+				// makes a legal in-flight revert land on identical
+				// bytes).
+				for round := 0; round < 2; round++ {
+					for key := uint64(0); key < keyspace; key++ {
+						if err := s.Put(ctx, key, stamp(key)); err != nil {
+							t.Fatalf("seed put %d: %v", key, err)
+						}
+					}
+				}
+
+				// Concurrent clients across the online power cycle.
+				var stop atomic.Bool
+				var wg sync.WaitGroup
+				errCh := make(chan error, 4)
+				for c := 0; c < 4; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						for i := 0; !stop.Load(); i++ {
+							key := uint64(c*1733+i) % keyspace
+							var err error
+							if i%3 == 0 {
+								err = s.Put(ctx, key, stamp(key))
+							} else {
+								var v []byte
+								v, err = s.Get(ctx, key)
+								if err == nil {
+									if len(v) != 16 {
+										errCh <- fmt.Errorf("key %d: bad value %x", key, v)
+										return
+									}
+								}
+							}
+							// Explicit degradation signals are the
+							// contract; anything else is a failure.
+							if err != nil && !errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrRecovering) {
+								errCh <- fmt.Errorf("client %d key %d: %w", c, key, err)
+								return
+							}
+						}
+					}(c)
+				}
+				time.Sleep(5 * time.Millisecond)
+				if err := s.Recover(ctx); err != nil {
+					stop.Store(true)
+					wg.Wait()
+					t.Fatalf("online recover: %v", err)
+				}
+				time.Sleep(30 * time.Millisecond)
+				stop.Store(true)
+				wg.Wait()
+				close(errCh)
+				for err := range errCh {
+					t.Fatal(err)
+				}
+
+				// Rebuilds complete once the queues go idle.
+				deadline := time.Now().Add(10 * time.Second)
+				for {
+					snap := s.Stats()
+					allServing := true
+					for _, ss := range snap.Shards {
+						if ss.Health != "serving" {
+							allServing = false
+						}
+						if ss.IntegrityErrs != 0 {
+							t.Fatalf("shard %d: %d integrity errors during degraded serving", ss.Shard, ss.IntegrityErrs)
+						}
+					}
+					if allServing {
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Fatalf("rebuild never completed: %+v", snap.Shards)
+					}
+					time.Sleep(time.Millisecond)
+				}
+				// Every key reads back its own stamp after the audit.
+				for key := uint64(0); key < keyspace; key++ {
+					v, err := s.Get(ctx, key)
+					if err != nil {
+						t.Fatalf("key %d after online recovery: %v", key, err)
+					}
+					checkStamp(t, key, v)
+				}
+
+				// One more full write round (repopulates the fault
+				// journal the detached-injector recovery skipped), then
+				// the standard fault cell.
+				for key := uint64(0); key < keyspace; key++ {
+					if err := s.Put(ctx, key, stamp(key)); err != nil {
+						t.Fatalf("rewrite %d: %v", key, err)
+					}
+				}
+				res, err := s.Chaos(ctx, ChaosSpec{Shard: 1, Kind: kind, Seed: 42})
+				if err != nil {
+					t.Fatalf("chaos: %v", err)
+				}
+				if res.Status == "violation" {
+					t.Fatalf("silent corruption: %+v", res)
+				}
+				if !res.Serving {
+					t.Fatalf("shard out of service after %s: %+v", kind, res)
+				}
+				mayMiss := map[uint64]bool{}
+				if res.Status == "recovered" {
+					for _, blk := range res.DataBlocks {
+						mayMiss[blk*uint64(cfg.Shards)+1] = true
+					}
+				}
+
+				// Quarantine the chaos victim; the heal loop must bring
+				// it back under this fault kind's end state.
+				if err := s.Quarantine(ctx, 1); err != nil {
+					t.Fatalf("quarantine: %v", err)
+				}
+				deadline = time.Now().Add(10 * time.Second)
+				for {
+					ss := s.Stats().Shards[1]
+					if ss.Health == "serving" && ss.Heals >= 1 {
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Fatalf("victim shard never healed: %+v", ss)
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				for key := uint64(0); key < keyspace; key++ {
+					v, err := s.Get(ctx, key)
+					if errors.Is(err, ErrNotFound) && mayMiss[key] {
+						continue
+					}
+					if err != nil {
+						t.Fatalf("key %d after heal (%s): %v", key, res.Status, err)
+					}
+					checkStamp(t, key, v)
+				}
+			})
+		}
+	}
+}
+
+// TestStoreDegradedBootFromCheckpoint: reopening a checkpointed store
+// must serve correct data immediately — Open returns with shards in
+// recovering state and the rebuild completes in the background.
+func TestStoreDegradedBootFromCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.CheckpointDir = dir
+	cfg.RecoveryChunk = 1
+	ctx := context.Background()
+
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	const keyspace = uint64(300)
+	for key := uint64(0); key < keyspace; key++ {
+		if err := s.Put(ctx, key, stamp(key)); err != nil {
+			t.Fatalf("put %d: %v", key, err)
+		}
+	}
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	s2 := mustOpen(t, cfg)
+	// First requests land while the rebuild is (or may still be) in
+	// flight; they must be served, verified, and correct.
+	for key := uint64(0); key < keyspace; key++ {
+		v, err := s2.Get(ctx, key)
+		if err != nil {
+			t.Fatalf("degraded-boot get %d: %v", key, err)
+		}
+		checkStamp(t, key, v)
+	}
+	// Writes during/after the degraded boot are acknowledged durably.
+	for key := keyspace; key < keyspace+32; key++ {
+		if err := s2.Put(ctx, key, stamp(key)); err != nil {
+			t.Fatalf("degraded-boot put %d: %v", key, err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap := s2.Stats()
+		allServing := true
+		for _, ss := range snap.Shards {
+			if ss.Health != "serving" {
+				allServing = false
+			}
+		}
+		if allServing {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("boot rebuild never completed: %+v", snap.Shards)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s2.Recover(ctx); err != nil {
+		t.Fatalf("post-boot recover: %v", err)
+	}
+	for key := uint64(0); key < keyspace+32; key++ {
+		v, err := s2.Get(ctx, key)
+		if err != nil {
+			t.Fatalf("post-boot get %d: %v", key, err)
+		}
+		checkStamp(t, key, v)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,9 +68,44 @@ var (
 	// ErrOutOfRange: the key maps past the shard's capacity.
 	ErrOutOfRange = errors.New("store: key out of range")
 	// ErrShardFailed: the shard's protocol broke its recovery
-	// contract (chaos violation); it no longer serves requests.
+	// contract (chaos violation); it is quarantined and nacks
+	// requests until the heal loop restores it.
 	ErrShardFailed = errors.New("store: shard failed")
+	// ErrRecovering: the shard is rebuilding its integrity tree and
+	// this request cannot be served yet. Degraded-capable shards keep
+	// serving through a rebuild, so this surfaces only when the shard
+	// is mid-recovery without online support, or when a request needs
+	// metadata that is genuinely not yet reconstructible. Retryable.
+	ErrRecovering = errors.New("store: shard recovering")
 )
+
+// shardHealth is the shard's serving state, published for lock-free
+// reads by submit and the metrics samplers.
+type shardHealth int32
+
+const (
+	// healthServing: normal operation.
+	healthServing shardHealth = iota
+	// healthRecovering: the tree is rebuilding. Degraded-capable
+	// shards still accept requests (sh.degraded); others nack with
+	// ErrRecovering until the blocking recovery completes.
+	healthRecovering
+	// healthQuarantined: the recovery contract was violated; the
+	// shard nacks everything while the heal loop retries.
+	healthQuarantined
+)
+
+func (h shardHealth) String() string {
+	switch h {
+	case healthServing:
+		return "serving"
+	case healthRecovering:
+		return "recovering"
+	case healthQuarantined:
+		return "quarantined"
+	}
+	return "unknown"
+}
 
 // Config sizes the store.
 type Config struct {
@@ -108,6 +144,21 @@ type Config struct {
 	// images and where Open looks for them; Close writes a final
 	// checkpoint there.
 	CheckpointDir string
+	// RecoveryChunk is how many BMT leaves an online recovery rebuilds
+	// per idle worker wakeup. Smaller chunks bound the latency a
+	// degraded request can queue behind; larger chunks finish the
+	// rebuild sooner. Default 256.
+	RecoveryChunk int
+	// HealBackoff is the delay before a quarantined shard's first
+	// heal attempt; each failed attempt doubles it up to
+	// HealBackoffMax. Default 100ms.
+	HealBackoff time.Duration
+	// HealBackoffMax caps the heal backoff. Default 5s.
+	HealBackoffMax time.Duration
+	// HealMaxAttempts bounds heal attempts per quarantine episode.
+	// 0 defaults to 8; negative disables healing entirely (a failed
+	// shard stays down, the pre-heal behavior).
+	HealMaxAttempts int
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +180,18 @@ func (c Config) withDefaults() Config {
 	if c.EpochMax <= 0 {
 		c.EpochMax = c.BatchMax
 	}
+	if c.RecoveryChunk <= 0 {
+		c.RecoveryChunk = 256
+	}
+	if c.HealBackoff <= 0 {
+		c.HealBackoff = 100 * time.Millisecond
+	}
+	if c.HealBackoffMax <= 0 {
+		c.HealBackoffMax = 5 * time.Second
+	}
+	if c.HealMaxAttempts == 0 {
+		c.HealMaxAttempts = 8
+	}
 	return c
 }
 
@@ -143,6 +206,7 @@ const (
 	opCheckpoint
 	opRecover
 	opChaos
+	opQuarantine
 )
 
 // kvPair is one key's share of a multi-put, already resolved to its
@@ -187,9 +251,26 @@ type shard struct {
 	epochWait time.Duration
 	ckpt      string        // checkpoint path, "" = none
 	prog      *bmt.Progress // live recovery rebuild watermark
-	failed    atomic.Bool
-	closeErr  error // final flush/checkpoint error, read after done
+	closeErr  error         // final flush/checkpoint error, read after done
 	m         shardMetrics
+
+	// Serving state, read lock-free by submit and samplers; written
+	// only by the worker (and by Open before the worker starts).
+	health   atomic.Int32 // shardHealth
+	degraded atomic.Bool  // recovering AND serving degraded traffic
+
+	// Online-recovery session, worker-owned: the rebuild advances
+	// recChunk leaves at a time whenever the queue is idle.
+	session  *mee.RecoverySession
+	recChunk int
+
+	// Quarantine heal loop, worker-owned.
+	healBackoff    time.Duration
+	healBackoffMax time.Duration
+	healMax        int
+	healWait       time.Duration // current backoff
+	healAt         time.Time     // next attempt due
+	healTried      int           // attempts this episode
 
 	// Epoch histograms, worker-written; readers clone under histMu.
 	histMu      sync.Mutex
@@ -225,18 +306,22 @@ func Open(cfg Config) (*Store, error) {
 		dev := scm.New(scm.Config{CapacityBytes: cfg.ShardMemBytes})
 		ctrl := mee.New(dev, cfg.MEE, policy)
 		sh := &shard{
-			id:          i,
-			dev:         dev,
-			ctrl:        ctrl,
-			ch:          make(chan request, cfg.QueueDepth),
-			done:        make(chan struct{}),
-			blocks:      cfg.ShardMemBytes / scm.BlockSize,
-			batchMax:    cfg.BatchMax,
-			epochMax:    cfg.EpochMax,
-			epochWait:   cfg.EpochWait,
-			epochSizes:  stats.NewHistogram(),
-			epochCycles: stats.NewHistogram(),
-			prog:        &bmt.Progress{},
+			id:             i,
+			dev:            dev,
+			ctrl:           ctrl,
+			ch:             make(chan request, cfg.QueueDepth),
+			done:           make(chan struct{}),
+			blocks:         cfg.ShardMemBytes / scm.BlockSize,
+			batchMax:       cfg.BatchMax,
+			epochMax:       cfg.EpochMax,
+			epochWait:      cfg.EpochWait,
+			epochSizes:     stats.NewHistogram(),
+			epochCycles:    stats.NewHistogram(),
+			prog:           &bmt.Progress{},
+			recChunk:       cfg.RecoveryChunk,
+			healBackoff:    cfg.HealBackoff,
+			healBackoffMax: cfg.HealBackoffMax,
+			healMax:        cfg.HealMaxAttempts,
 		}
 		ctrl.SetRecoveryProgress(sh.prog)
 		if cfg.CheckpointDir != "" {
@@ -246,7 +331,12 @@ func Open(cfg Config) (*Store, error) {
 			}
 		}
 		sh.inj = faults.NewInjector(ctrl)
-		sh.inj.Attach()
+		// During a degraded boot the injector stays detached — recovery
+		// traffic is not journaled — and attaches when the rebuild
+		// completes, mirroring the power-cycle path.
+		if sh.session == nil {
+			sh.inj.Attach()
+		}
 		s.shards[i] = sh
 	}
 	for _, sh := range s.shards {
@@ -255,8 +345,12 @@ func Open(cfg Config) (*Store, error) {
 	return s, nil
 }
 
-// boot loads the shard's checkpoint if one exists and runs the
-// protocol's recovery, the normal reboot path.
+// boot loads the shard's checkpoint if one exists and starts the
+// protocol's recovery, the normal reboot path. When the protocol
+// supports online recovery the shard comes up recovering+degraded and
+// the worker rebuilds in the background — time-to-first-request is
+// independent of the shard's leaf count. Otherwise boot blocks on the
+// full rebuild as before.
 func (sh *shard) boot() error {
 	f, err := os.Open(sh.ckpt)
 	if errors.Is(err, os.ErrNotExist) {
@@ -268,6 +362,12 @@ func (sh *shard) boot() error {
 	defer f.Close()
 	if err := sh.ctrl.LoadCheckpoint(f); err != nil {
 		return err
+	}
+	if s, ok := sh.ctrl.BeginRecovery(sh.now); ok {
+		sh.session = s
+		sh.health.Store(int32(healthRecovering))
+		sh.degraded.Store(true)
+		return nil
 	}
 	if _, err := sh.ctrl.Recover(sh.now); err != nil {
 		return fmt.Errorf("recovery after checkpoint load: %w", err)
@@ -290,8 +390,17 @@ func (s *Store) shardFor(key uint64) (*shard, uint64) {
 // lock while closing channels) can never race a send onto a closed
 // channel.
 func (s *Store) submit(ctx context.Context, sh *shard, req request) (response, error) {
-	if sh.failed.Load() {
+	switch shardHealth(sh.health.Load()) {
+	case healthQuarantined:
 		return response{}, ErrShardFailed
+	case healthRecovering:
+		// Degraded-capable shards keep admitting; a shard stuck in a
+		// blocking rebuild fast-fails so callers can back off instead
+		// of piling into the queue.
+		if !sh.degraded.Load() {
+			sh.m.recoveringNacks.Add(1)
+			return response{}, ErrRecovering
+		}
 	}
 	req.ctx = ctx
 	if req.sp == nil {
@@ -401,6 +510,18 @@ func (s *Store) RecoverShard(ctx context.Context, id int) error {
 	return err
 }
 
+// Quarantine deliberately takes one shard out of service — a
+// chaos-engineering control that exercises the exact quarantine/heal
+// path a real recovery violation takes. The shard nacks requests with
+// ErrShardFailed until the supervised heal loop restores it.
+func (s *Store) Quarantine(ctx context.Context, id int) error {
+	if id < 0 || id >= len(s.shards) {
+		return fmt.Errorf("store: no shard %d", id)
+	}
+	_, err := s.submit(ctx, s.shards[id], request{op: opQuarantine, resp: make(chan response, 1)})
+	return err
+}
+
 // Close drains every shard's queue, flushes, writes a final
 // checkpoint (when a checkpoint dir is configured), and stops the
 // workers. ctx bounds the wait. Idempotent.
@@ -431,71 +552,117 @@ func (s *Store) Close(ctx context.Context) error {
 
 // --- worker -----------------------------------------------------------
 
-// run is the shard worker: it owns the controller. Requests are
-// drained in batches — one blocking receive, then up to batchMax-1
-// opportunistic ones, then (when EpochWait is set and a put is
+// run is the shard worker: it owns the controller. In normal
+// operation requests are drained in batches — one blocking receive,
+// then opportunistic ones, then (when EpochWait is set and a put is
 // pending) a bounded wait for stragglers — so bursty load amortizes
 // both the per-wakeup bookkeeping and the group-commit climb.
+//
+// While an online recovery session is active the worker instead
+// interleaves rebuild chunks with request service: traffic takes
+// priority (a chunk only runs when the queue is idle), so a degraded
+// request queues behind at most one RecoveryChunk of rebuild work.
+// While quarantined the worker parks on the heal timer and nacks
+// whatever slips into the queue.
 func (sh *shard) run() {
 	defer close(sh.done)
 	batch := make([]request, 0, sh.batchMax)
 	open := true
 	for open {
+		if sh.session != nil {
+			select {
+			case req, ok := <-sh.ch:
+				if !ok {
+					open = false
+					continue
+				}
+				batch, open = sh.serveWave(batch, req)
+			default:
+				if sh.session.Step(sh.recChunk) {
+					sh.finishRecovery()
+				}
+				sh.publish()
+				// Yield between chunks: on a starved scheduler (one
+				// CPU, many shards) a spinning rebuild would otherwise
+				// run to completion before a waiting client ever gets
+				// to enqueue, defeating degraded serving.
+				runtime.Gosched()
+			}
+			continue
+		}
+		if shardHealth(sh.health.Load()) == healthQuarantined {
+			open = sh.quarantineTick()
+			continue
+		}
 		req, ok := <-sh.ch
 		if !ok {
 			break
 		}
-		// Dequeue stamps close the queue_wait phase per request: a
-		// request arriving during the linger below charges the linger
-		// to queue_wait, while already-drained writes charge it to
-		// epoch_stage — the honest attribution either way.
-		req.sp.Mark(span.QueueWait)
-		batch = append(batch[:0], req)
-	fill:
-		for len(batch) < sh.batchMax {
-			select {
-			case r, ok := <-sh.ch:
-				if !ok {
-					open = false
-					break fill
-				}
-				r.sp.Mark(span.QueueWait)
-				batch = append(batch, r)
-			default:
-				break fill
-			}
-		}
-		if open && sh.epochWait > 0 && len(batch) < sh.batchMax && hasPut(batch) {
-			timer := time.NewTimer(sh.epochWait)
-		wait:
-			for len(batch) < sh.batchMax {
-				select {
-				case r, ok := <-sh.ch:
-					if !ok {
-						open = false
-						break wait
-					}
-					r.sp.Mark(span.QueueWait)
-					batch = append(batch, r)
-				case <-timer.C:
-					break wait
-				}
-			}
-			timer.Stop()
-		}
-		sh.serveBatch(batch)
-		sh.m.batches.Add(1)
-		sh.m.batchItems.Add(uint64(len(batch)))
-		sh.publish()
+		batch, open = sh.serveWave(batch, req)
 	}
-	// Shutdown: queue fully drained above; leave a durable image.
-	if !sh.failed.Load() {
+	// Shutdown: queue fully drained above. Complete any in-flight
+	// rebuild so the final flush and checkpoint see a whole, audited
+	// tree, then leave a durable image.
+	sh.barrier()
+	if shardHealth(sh.health.Load()) != healthQuarantined {
 		sh.now += sh.ctrl.Flush(sh.now)
 		if sh.ckpt != "" {
 			sh.closeErr = sh.checkpoint()
 		}
 	}
 	sh.publish()
+}
+
+// serveWave drains a batch behind req and serves it. The epoch
+// straggler linger is skipped while a recovery session is active —
+// rebuild work is the better use of idle time, and degraded writes
+// bypass group commit anyway. Returns the (possibly regrown) batch
+// buffer and false once the request channel is closed.
+func (sh *shard) serveWave(batch []request, req request) ([]request, bool) {
+	// Dequeue stamps close the queue_wait phase per request: a
+	// request arriving during the linger below charges the linger
+	// to queue_wait, while already-drained writes charge it to
+	// epoch_stage — the honest attribution either way.
+	req.sp.Mark(span.QueueWait)
+	batch = append(batch[:0], req)
+	open := true
+fill:
+	for len(batch) < sh.batchMax {
+		select {
+		case r, ok := <-sh.ch:
+			if !ok {
+				open = false
+				break fill
+			}
+			r.sp.Mark(span.QueueWait)
+			batch = append(batch, r)
+		default:
+			break fill
+		}
+	}
+	if open && sh.session == nil && sh.epochWait > 0 && len(batch) < sh.batchMax && hasPut(batch) {
+		timer := time.NewTimer(sh.epochWait)
+	wait:
+		for len(batch) < sh.batchMax {
+			select {
+			case r, ok := <-sh.ch:
+				if !ok {
+					open = false
+					break wait
+				}
+				r.sp.Mark(span.QueueWait)
+				batch = append(batch, r)
+			case <-timer.C:
+				break wait
+			}
+		}
+		timer.Stop()
+	}
+	sh.serveBatch(batch)
+	sh.m.batches.Add(1)
+	sh.m.batchItems.Add(uint64(len(batch)))
+	sh.publish()
+	return batch, open
 }
 
 // hasPut reports whether the batch carries at least one write — the
@@ -539,13 +706,17 @@ func (sh *shard) serveBatch(batch []request) {
 			r.resp <- response{err: r.ctx.Err()}
 			continue
 		}
-		if sh.failed.Load() {
+		if shardHealth(sh.health.Load()) == healthQuarantined {
 			r.resp <- response{err: ErrShardFailed}
 			continue
 		}
 		switch r.op {
 		case opPut, opPutMulti:
-			if sh.epochMax <= 1 {
+			// Degraded writes bypass group commit: multi-op epochs
+			// refuse to commit mid-rebuild (the climb would mix
+			// unaudited ancestors), while the per-op path defers its
+			// climb to the session's finish audit.
+			if sh.epochMax <= 1 || sh.session != nil {
 				r.resp <- sh.serve(r)
 				continue
 			}
@@ -559,7 +730,11 @@ func (sh *shard) serveBatch(batch []request) {
 		case opGet, opGetMulti:
 			r.resp <- sh.serve(r)
 		default:
+			// Control operations (flush, checkpoint, power cycle,
+			// chaos, quarantine) observe whole-shard state: commit the
+			// open epoch and complete any in-flight rebuild first.
 			commit()
+			sh.barrier()
 			r.resp <- sh.serve(r)
 		}
 	}
@@ -690,8 +865,9 @@ func (sh *shard) putBlock(block uint64, value []byte) error {
 	sh.now += cycles
 	if err != nil {
 		sh.countErr(err)
+		return asStoreErr(err)
 	}
-	return err
+	return nil
 }
 
 // getBlock runs the verified read path and unframes the value.
@@ -701,7 +877,7 @@ func (sh *shard) getBlock(block uint64) ([]byte, error) {
 	sh.now += cycles
 	if err != nil {
 		sh.countErr(err)
-		return nil, err
+		return nil, asStoreErr(err)
 	}
 	n := int(blk[0])
 	if n == 0 {
@@ -715,7 +891,7 @@ func (sh *shard) getBlock(block uint64) ([]byte, error) {
 
 // serve executes one request against the worker-owned controller.
 func (sh *shard) serve(r request) response {
-	if sh.failed.Load() {
+	if shardHealth(sh.health.Load()) == healthQuarantined {
 		return response{err: ErrShardFailed}
 	}
 	switch r.op {
@@ -767,17 +943,31 @@ func (sh *shard) serve(r request) response {
 	case opChaos:
 		res := sh.runChaos(*r.chaos)
 		return response{chaos: res, err: res.startErr}
+	case opQuarantine:
+		sh.inj.Detach()
+		sh.fail()
+		return response{}
 	}
 	return response{err: fmt.Errorf("store: unknown op %d", r.op)}
 }
 
-// powerCycle crashes the shard's controller and runs the protocol's
-// recovery plus a whole-shard verify — the clean reboot invariant.
-// The injector is detached across the cycle so recovery traffic does
-// not pollute the fault journal.
+// powerCycle crashes the shard's controller and restarts it. When the
+// protocol supports online recovery the shard returns immediately in
+// recovering+degraded state and the worker rebuilds between drains —
+// the rebuild's finish audit replaces the blocking whole-shard verify
+// (any pre-crash tamper is still detected, just at session end:
+// bounded deferred detection). Otherwise the cycle blocks on the full
+// Recover+VerifyAll as before. The injector is detached across the
+// cycle so recovery traffic does not pollute the fault journal.
 func (sh *shard) powerCycle() error {
 	sh.inj.Detach()
 	sh.ctrl.Crash()
+	sh.health.Store(int32(healthRecovering))
+	if s, ok := sh.ctrl.BeginRecovery(sh.now); ok {
+		sh.session = s
+		sh.degraded.Store(true)
+		return nil
+	}
 	if _, err := sh.ctrl.Recover(sh.now); err != nil {
 		sh.fail()
 		return fmt.Errorf("%w: recovery: %v", ErrShardFailed, err)
@@ -786,10 +976,121 @@ func (sh *shard) powerCycle() error {
 		sh.fail()
 		return fmt.Errorf("%w: post-recovery verify: %v", ErrShardFailed, err)
 	}
+	sh.health.Store(int32(healthServing))
 	sh.m.recoveries.Add(1)
 	sh.inj = faults.NewInjector(sh.ctrl)
 	sh.inj.Attach()
 	return nil
+}
+
+// barrier completes any in-flight online recovery synchronously so
+// the next operation observes a whole, audited tree. Control
+// operations and shutdown call it; a no-op outside a session.
+func (sh *shard) barrier() {
+	if sh.session == nil {
+		return
+	}
+	for !sh.session.Step(sh.recChunk) {
+	}
+	sh.finishRecovery()
+}
+
+// finishRecovery runs the session's audit + degraded-write patch and
+// returns the shard to serving. An audit failure means integrity was
+// violated while the shard served degraded traffic — it quarantines
+// and the heal loop takes over.
+func (sh *shard) finishRecovery() {
+	sess := sh.session
+	sh.session = nil
+	sh.degraded.Store(false)
+	sh.m.degradedWrites.Add(sess.DegradedWrites())
+	sh.m.provisionalLoads.Add(sess.ProvisionalFetches())
+	if _, err := sess.Finish(sh.now); err != nil {
+		sh.countErr(err)
+		sh.fail()
+		return
+	}
+	sh.health.Store(int32(healthServing))
+	sh.m.recoveries.Add(1)
+	sh.inj = faults.NewInjector(sh.ctrl)
+	sh.inj.Attach()
+}
+
+// quarantineTick parks the worker until the next heal attempt is due,
+// nacking any request that slipped past the submit fast-path. Returns
+// false when the store is closing.
+func (sh *shard) quarantineTick() bool {
+	var due <-chan time.Time
+	if sh.healMax >= 0 && sh.healTried < sh.healMax {
+		t := time.NewTimer(time.Until(sh.healAt))
+		defer t.Stop()
+		due = t.C
+	}
+	select {
+	case req, ok := <-sh.ch:
+		if !ok {
+			return false
+		}
+		req.sp.Mark(span.QueueWait)
+		req.resp <- response{err: ErrShardFailed}
+	case <-due:
+		sh.healOnce()
+	}
+	return true
+}
+
+// healOnce runs one supervised recovery attempt on the quarantined
+// shard. The first attempt re-recovers in place — the violation may
+// stem from volatile state a clean power cycle clears. Later attempts
+// escalate to restoring the last good checkpoint first: acknowledged-
+// but-uncheckpointed writes are lost, but the shard returns with a
+// provably intact tree. Failures back off exponentially up to the cap.
+func (sh *shard) healOnce() {
+	sh.healTried++
+	sh.m.healAttempts.Add(1)
+	if err := sh.heal(sh.healTried > 1); err != nil {
+		sh.countErr(err)
+		sh.healWait *= 2
+		if sh.healWait > sh.healBackoffMax {
+			sh.healWait = sh.healBackoffMax
+		}
+		sh.healAt = time.Now().Add(sh.healWait)
+		sh.publish()
+		return
+	}
+	sh.health.Store(int32(healthServing))
+	sh.m.heals.Add(1)
+	sh.m.recoveries.Add(1)
+	sh.inj = faults.NewInjector(sh.ctrl)
+	sh.inj.Attach()
+	sh.publish()
+}
+
+// heal runs one blocking recovery on the quarantined controller,
+// optionally restoring the last checkpoint image first.
+func (sh *shard) heal(restore bool) error {
+	restored := false
+	if restore && sh.ckpt != "" {
+		f, err := os.Open(sh.ckpt)
+		switch {
+		case err == nil:
+			loadErr := sh.ctrl.LoadCheckpoint(f)
+			f.Close()
+			if loadErr != nil {
+				return loadErr
+			}
+			restored = true
+		case !errors.Is(err, os.ErrNotExist):
+			return err
+		}
+	}
+	if !restored {
+		sh.ctrl.Crash()
+	}
+	if _, err := sh.ctrl.Recover(sh.now); err != nil {
+		return err
+	}
+	return sh.ctrl.VerifyAll(sh.now)
 }
 
 // checkpoint writes the shard's durable image atomically
@@ -816,16 +1117,33 @@ func (sh *shard) checkpoint() error {
 	return os.Rename(tmp, sh.ckpt)
 }
 
+// fail quarantines the shard and arms the heal loop. Worker-only.
 func (sh *shard) fail() {
-	sh.failed.Store(true)
+	sh.health.Store(int32(healthQuarantined))
+	sh.degraded.Store(false)
 	sh.m.failures.Add(1)
+	sh.healTried = 0
+	sh.healWait = sh.healBackoff
+	sh.healAt = time.Now().Add(sh.healWait)
 }
 
 func (sh *shard) countErr(err error) {
 	var ie *mee.IntegrityError
-	if errors.As(err, &ie) {
+	switch {
+	case errors.As(err, &ie):
 		sh.m.integrityErrs.Add(1)
-		return
+	case errors.Is(err, mee.ErrRecovering) || errors.Is(err, ErrRecovering):
+		sh.m.recoveringNacks.Add(1)
+	default:
+		sh.m.otherErrs.Add(1)
 	}
-	sh.m.otherErrs.Add(1)
+}
+
+// asStoreErr maps controller-level recovery refusals onto the store's
+// retryable sentinel so callers see one error vocabulary.
+func asStoreErr(err error) error {
+	if errors.Is(err, mee.ErrRecovering) {
+		return fmt.Errorf("%w: %v", ErrRecovering, err)
+	}
+	return err
 }
