@@ -2,7 +2,8 @@
 // JSON key/value API in front of internal/store, the telemetry
 // introspection endpoints (/metrics, /vars, /debug/pprof/), and a
 // live chaos endpoint that injects a fault-laden power failure into
-// one shard while the rest keep serving.
+// one shard while the rest keep serving. The HTTP surface itself
+// lives in internal/node; this binary is flags + lifecycle.
 //
 // API (versioned under /v1; the unversioned paths remain as
 // deprecated aliases that answer identically but carry a
@@ -19,14 +20,23 @@
 //	POST /v1/quarantine?shard=0               force a shard into the heal loop
 //	GET  /v1/store/stats   per-shard and aggregate counters
 //	GET  /v1/health        per-shard health states + heal counters;
-//	                       503 while any shard is quarantined
+//	                       503 while any shard is quarantined; in
+//	                       cluster mode includes the node identity block
+//	POST /v1/migrate/*     live partition hand-off surface (see internal/node)
+//	GET  /v1/ring          cached ring state (cluster mode)
+//
+// Cluster mode: -node-id, -advertise, and -cluster-nodes place this
+// daemon in a multi-node ring. Every node derives the identical
+// initial partition placement from the shared member list, hosts
+// only its owned partitions, and answers 421 Misdirected Request
+// (with an ownership hint) for keys it does not host.
 //
 // Degraded serving: shards recover online, so requests keep flowing
 // while a tree rebuild is in flight. When a request cannot be served
 // the daemon answers 503 with a machine-readable reason —
-// {"reason":"overloaded"|"recovering"|"failed","retry_after_ms":..}
-// — plus a Retry-After header, so clients can back off instead of
-// treating the condition as a hard failure.
+// {"reason":"overloaded"|"recovering"|"failed"|"fenced",
+// "retry_after_ms":..} — plus a Retry-After header, so clients back
+// off instead of treating the condition as a hard failure.
 //
 // Shutdown (SIGINT/SIGTERM) is graceful: the HTTP server drains via
 // Shutdown, then the store drains its queues, flushes, and writes a
@@ -35,27 +45,25 @@
 // Example:
 //
 //	amntd -addr :8080 -shards 4 -protocol amnt -checkpoint-dir /tmp/amnt
+//	amntd -addr :8081 -node-id n1 -advertise http://127.0.0.1:8081 \
+//	      -cluster-nodes n1=http://127.0.0.1:8081,n2=http://127.0.0.1:8082 \
+//	      -partitions 64 -checkpoint-dir /shared/amnt
 package main
 
 import (
 	"context"
-	"encoding/base64"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
-	"sync/atomic"
 	"syscall"
 	"time"
 
+	"amnt/internal/cluster"
 	_ "amnt/internal/core" // register the AMNT protocol family
+	"amnt/internal/node"
 	"amnt/internal/store"
 	"amnt/internal/telemetry"
 	"amnt/internal/telemetry/span"
@@ -64,7 +72,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "HTTP listen address")
-		shards     = flag.Int("shards", 4, "independent controller shards")
+		shards     = flag.Int("shards", 4, "independent controller shards (standalone; cluster mode hosts one shard per owned partition)")
 		memMB      = flag.Int("shard-mem-mb", 4, "SCM data capacity per shard, MiB")
 		protocol   = flag.String("protocol", "amnt", "persistence protocol (mee registry name)")
 		level      = flag.Int("level", 3, "AMNT subtree level")
@@ -72,7 +80,7 @@ func main() {
 		batch      = flag.Int("batch", 16, "max requests drained per worker wakeup")
 		epochMax   = flag.Int("epoch-max", 0, "max writes per group-commit epoch (0 = batch size, 1 = per-op commits)")
 		epochWait  = flag.Duration("epoch-wait", 0, "how long a worker lingers for more writes before committing a short epoch")
-		ckptDir    = flag.String("checkpoint-dir", "", "checkpoint directory (empty = no checkpoints)")
+		ckptDir    = flag.String("checkpoint-dir", "", "checkpoint directory (empty = no checkpoints; cluster kill-drills need a shared one)")
 		reqTimeout = flag.Duration("req-timeout", 2*time.Second, "per-request serving deadline")
 		sample     = flag.Duration("sample", 250*time.Millisecond, "telemetry sampling period")
 		recWorkers = flag.Int("recovery-workers", 1, "rebuild worker-pool width for shard recovery (bit-identical results at any width)")
@@ -83,8 +91,18 @@ func main() {
 		spanSample = flag.Int("span-sample", 1, "record one latency-attribution span per N requests (1 = every request, 0 = spans off)")
 		spanRing   = flag.Int("span-ring", 4096, "finished-span ring buffer size (/v1/spans depth)")
 		slowThresh = flag.Duration("slow-threshold", 250*time.Millisecond, "log any request slower than this with its full phase breakdown (0 = off)")
+
+		nodeID     = flag.String("node-id", "", "cluster node identity (enables cluster mode with -cluster-nodes)")
+		advertise  = flag.String("advertise", "", "base URL peers and routers reach this node at")
+		clusterSet = flag.String("cluster-nodes", "", "full member list as id=url,id=url — every node and router must pass the same list")
+		partitions = flag.Int("partitions", 0, "cluster partition count (0 = 64 in cluster mode, = -shards standalone)")
+		vnodes     = flag.Int("vnodes", 0, "virtual nodes per member on the consistent-hash ring (0 = 128)")
 	)
 	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "amntd:", err)
+		os.Exit(1)
+	}
 
 	cfg := store.Config{
 		Shards:          *shards,
@@ -102,21 +120,60 @@ func main() {
 	}
 	cfg.MEE.RecoveryWorkers = *recWorkers
 	cfg.PolicyOptions.SubtreeLevel = *level
+
+	// Cluster mode: derive this node's owned partitions from the
+	// deterministic boot placement every participant computes from
+	// the same member list.
+	var ring *cluster.State
+	if *nodeID != "" || *clusterSet != "" {
+		if *nodeID == "" || *clusterSet == "" {
+			fail(fmt.Errorf("cluster mode needs both -node-id and -cluster-nodes"))
+		}
+		members, err := cluster.ParseMembers(*clusterSet)
+		if err != nil {
+			fail(err)
+		}
+		self := false
+		for _, m := range members {
+			if m.ID == *nodeID {
+				self = true
+				if *advertise == "" {
+					*advertise = m.Addr
+				}
+			}
+		}
+		if !self {
+			fail(fmt.Errorf("node %q is not in -cluster-nodes", *nodeID))
+		}
+		ring = cluster.InitialState(*partitions, *vnodes, members)
+		cfg.Partitions = ring.Partitions
+		owned := cluster.OwnedBy(ring, *nodeID)
+		if owned == nil {
+			owned = []int{}
+		}
+		cfg.Owned = owned
+		cfg.Shards = len(owned)
+	}
+
 	st, err := store.Open(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "amntd:", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stdout, nil))
 	rec := span.New(span.Config{
 		SampleEvery:   *spanSample,
 		RingSize:      *spanRing,
-		Shards:        *shards,
+		Shards:        st.Shards(),
 		SlowThreshold: *slowThresh,
 		Logger:        logger,
 	})
-	tr := newTracer(rec)
+	nd := node.New(st, rec, node.Options{
+		ReqTimeout: *reqTimeout,
+		NodeID:     *nodeID,
+		Advertise:  *advertise,
+		Ring:       ring,
+	})
 
 	reg := telemetry.NewRegistry()
 	st.RegisterMetrics(reg)
@@ -124,13 +181,17 @@ func main() {
 	srv, err := telemetry.Serve(*addr, telemetry.ServeOptions{
 		Registry: reg,
 		Progress: func() any { return st.Stats() },
-		Register: func(mux *http.ServeMux) { mount(mux, st, *reqTimeout, tr) },
+		Register: func(mux *http.ServeMux) { nd.Mount(mux) },
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "amntd:", err)
-		os.Exit(1)
+		fail(err)
 	}
-	fmt.Printf("amntd: serving %d×%s shards on %s\n", *shards, *protocol, srv.Addr())
+	if ring != nil {
+		fmt.Printf("amntd: node %s serving %d/%d partitions on %s (ring epoch %d)\n",
+			*nodeID, st.Shards(), ring.Partitions, srv.Addr(), ring.Epoch)
+	} else {
+		fmt.Printf("amntd: serving %d×%s shards on %s\n", st.Shards(), *protocol, srv.Addr())
+	}
 
 	// Sampler: the only goroutine that calls reg.Sample. Columns read
 	// published atomics, so this never races the shard workers.
@@ -167,448 +228,4 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("amntd: store drained and checkpointed")
-}
-
-// tracer owns the serving path's request tracing: the span recorder,
-// one RED op per endpoint, and X-Request-Id minting/propagation.
-type tracer struct {
-	rec  *span.Recorder
-	boot int64 // request-id namespace, one per process
-	seq  atomic.Uint64
-
-	kvGet, kvPut, batch               *span.Op
-	flush, checkpoint, recover, chaos *span.Op
-	quarantine                        *span.Op
-}
-
-// newTracer mints every endpoint op up front so RegisterMetrics sees
-// the full RED column set before serving starts.
-func newTracer(rec *span.Recorder) *tracer {
-	return &tracer{
-		rec:        rec,
-		boot:       time.Now().UnixNano(),
-		kvGet:      rec.Op("kv_get"),
-		kvPut:      rec.Op("kv_put"),
-		batch:      rec.Op("batch"),
-		flush:      rec.Op("flush"),
-		checkpoint: rec.Op("checkpoint"),
-		recover:    rec.Op("recover"),
-		chaos:      rec.Op("chaos"),
-		quarantine: rec.Op("quarantine"),
-	}
-}
-
-// begin opens one traced request: honors a client-supplied
-// X-Request-Id (minting one otherwise), echoes it on the response,
-// and admits the request through the op's sampling gate. The span is
-// nil when unsampled — callers stamp it regardless (nil-safe).
-func (t *tracer) begin(op *span.Op, w http.ResponseWriter, r *http.Request) (*span.Span, time.Time) {
-	id := r.Header.Get("X-Request-Id")
-	if id == "" {
-		id = fmt.Sprintf("amnt-%x-%x", t.boot, t.seq.Add(1))
-	}
-	w.Header().Set("X-Request-Id", id)
-	return op.Start(id), time.Now()
-}
-
-// redErr filters per-key outcomes out of the RED error counters: a
-// miss is a valid answer, not a serving failure.
-func redErr(err error) error {
-	if errors.Is(err, store.ErrNotFound) {
-		return nil
-	}
-	return err
-}
-
-// mount attaches the store routes to the telemetry mux: the
-// canonical surface lives under /v1/, and every pre-versioning path
-// stays mounted as a deprecated alias of its /v1 successor.
-func mount(mux *http.ServeMux, st *store.Store, reqTimeout time.Duration, tr *tracer) {
-	kv := func(prefix string) http.HandlerFunc {
-		return func(w http.ResponseWriter, r *http.Request) {
-			key, err := strconv.ParseUint(strings.TrimPrefix(r.URL.Path, prefix), 10, 64)
-			if err != nil {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("bad key: %w", err))
-				return
-			}
-			ctx, cancel := context.WithTimeout(r.Context(), reqTimeout)
-			defer cancel()
-			switch r.Method {
-			case http.MethodGet:
-				sp, t0 := tr.begin(tr.kvGet, w, r)
-				v, err := st.Get(span.NewContext(ctx, sp), key)
-				tr.kvGet.Done(sp, t0, redErr(err))
-				if err != nil {
-					httpError(w, statusFor(err), err)
-					return
-				}
-				resp := map[string]any{
-					"key":       key,
-					"value_b64": base64.StdEncoding.EncodeToString(v),
-				}
-				if sp != nil {
-					resp["timing"] = sp.Timing()
-				}
-				writeJSON(w, resp)
-			case http.MethodPut, http.MethodPost:
-				body, err := io.ReadAll(io.LimitReader(r.Body, store.MaxValueLen+1))
-				if err != nil {
-					httpError(w, http.StatusBadRequest, err)
-					return
-				}
-				sp, t0 := tr.begin(tr.kvPut, w, r)
-				err = st.Put(span.NewContext(ctx, sp), key, body)
-				tr.kvPut.Done(sp, t0, err)
-				if err != nil {
-					httpError(w, statusFor(err), err)
-					return
-				}
-				resp := map[string]any{"ok": true, "key": key}
-				if sp != nil {
-					resp["timing"] = sp.Timing()
-				}
-				writeJSON(w, resp)
-			default:
-				httpError(w, http.StatusMethodNotAllowed, errors.New("use GET or PUT"))
-			}
-		}
-	}
-	control := func(name string, op *span.Op, fn func(context.Context) error) http.HandlerFunc {
-		return func(w http.ResponseWriter, r *http.Request) {
-			if r.Method != http.MethodPost {
-				httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
-				return
-			}
-			// Control ops (recover runs a full verify) get a wider
-			// deadline than the data path.
-			ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
-			defer cancel()
-			sp, t0 := tr.begin(op, w, r)
-			err := fn(span.NewContext(ctx, sp))
-			op.Done(sp, t0, err)
-			if err != nil {
-				httpError(w, statusFor(err), err)
-				return
-			}
-			resp := map[string]any{"ok": true, "op": name}
-			if sp != nil {
-				resp["timing"] = sp.Timing()
-			}
-			writeJSON(w, resp)
-		}
-	}
-	chaos := func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
-			return
-		}
-		q := r.URL.Query()
-		spec := store.ChaosSpec{Kind: q.Get("kind")}
-		if spec.Kind == "" {
-			spec.Kind = "torn"
-		}
-		if v := q.Get("shard"); v != "" {
-			n, err := strconv.Atoi(v)
-			if err != nil {
-				httpError(w, http.StatusBadRequest, err)
-				return
-			}
-			spec.Shard = n
-		}
-		if v := q.Get("seed"); v != "" {
-			n, err := strconv.ParseInt(v, 10, 64)
-			if err != nil {
-				httpError(w, http.StatusBadRequest, err)
-				return
-			}
-			spec.Seed = n
-		}
-		ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
-		defer cancel()
-		sp, t0 := tr.begin(tr.chaos, w, r)
-		res, err := st.Chaos(span.NewContext(ctx, sp), spec)
-		tr.chaos.Done(sp, t0, err)
-		if err != nil {
-			httpError(w, statusFor(err), err)
-			return
-		}
-		writeJSON(w, res)
-	}
-	quarantine := func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
-			return
-		}
-		shard := 0
-		if v := r.URL.Query().Get("shard"); v != "" {
-			n, err := strconv.Atoi(v)
-			if err != nil {
-				httpError(w, http.StatusBadRequest, err)
-				return
-			}
-			shard = n
-		}
-		ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
-		defer cancel()
-		sp, t0 := tr.begin(tr.quarantine, w, r)
-		err := st.Quarantine(span.NewContext(ctx, sp), shard)
-		tr.quarantine.Done(sp, t0, err)
-		if err != nil {
-			httpError(w, statusFor(err), err)
-			return
-		}
-		writeJSON(w, map[string]any{"ok": true, "op": "quarantine", "shard": shard})
-	}
-	stats := func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, st.Stats())
-	}
-	health := func(w http.ResponseWriter, _ *http.Request) {
-		snap := st.Stats()
-		out := healthReport{Status: "ok"}
-		code := http.StatusOK
-		for _, sh := range snap.Shards {
-			out.Shards = append(out.Shards, shardHealthState{
-				Shard:          sh.Shard,
-				Health:         sh.Health,
-				Serving:        sh.Serving,
-				Failures:       sh.Failures,
-				HealAttempts:   sh.HealAttempts,
-				Heals:          sh.Heals,
-				Recoveries:     sh.Recoveries,
-				RecoveringNack: sh.RecoveringNack,
-				DegradedWrites: sh.DegradedWrites,
-				LeavesDone:     sh.RecoveryDone,
-				LeavesTotal:    sh.RecoveryTotal,
-			})
-			switch sh.Health {
-			case "quarantined":
-				out.Status = "degraded"
-				code = http.StatusServiceUnavailable
-			case "recovering":
-				if out.Status == "ok" {
-					out.Status = "recovering"
-				}
-			}
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(code)
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(out)
-	}
-	spans := func(w http.ResponseWriter, r *http.Request) {
-		n := 100
-		if v := r.URL.Query().Get("n"); v != "" {
-			p, err := strconv.Atoi(v)
-			if err != nil || p <= 0 {
-				httpError(w, http.StatusBadRequest, errors.New("bad n"))
-				return
-			}
-			n = p
-		}
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		_ = tr.rec.WriteJSONL(w, n)
-	}
-
-	mux.HandleFunc("/v1/kv/", kv("/v1/kv/"))
-	mux.HandleFunc("/v1/batch", batchHandler(st, reqTimeout, tr))
-	mux.HandleFunc("/v1/flush", control("flush", tr.flush, st.Flush))
-	mux.HandleFunc("/v1/checkpoint", control("checkpoint", tr.checkpoint, st.Checkpoint))
-	mux.HandleFunc("/v1/recover", control("recover", tr.recover, st.Recover))
-	mux.HandleFunc("/v1/chaos", chaos)
-	mux.HandleFunc("/v1/quarantine", quarantine)
-	mux.HandleFunc("/v1/store/stats", stats)
-	mux.HandleFunc("/v1/health", health)
-	mux.HandleFunc("/v1/spans", spans)
-
-	// Pre-versioning aliases. Answer identically but advertise the
-	// successor route so clients can migrate before removal.
-	alias := func(old, successor string, h http.HandlerFunc) {
-		mux.HandleFunc(old, func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Deprecation", "true")
-			w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
-			h(w, r)
-		})
-	}
-	alias("/kv/", "/v1/kv/", kv("/kv/"))
-	alias("/flush", "/v1/flush", control("flush", tr.flush, st.Flush))
-	alias("/checkpoint", "/v1/checkpoint", control("checkpoint", tr.checkpoint, st.Checkpoint))
-	alias("/recover", "/v1/recover", control("recover", tr.recover, st.Recover))
-	alias("/chaos", "/v1/chaos", chaos)
-	alias("/store/stats", "/v1/store/stats", stats)
-}
-
-// batchPut is one write in a /v1/batch request body.
-type batchPut struct {
-	Key      uint64 `json:"key"`
-	ValueB64 string `json:"value_b64"`
-}
-
-// batchRequest is the /v1/batch body: puts apply before gets, so a
-// batch can read back its own writes.
-type batchRequest struct {
-	Puts []batchPut `json:"puts,omitempty"`
-	Gets []uint64   `json:"gets,omitempty"`
-}
-
-// batchResult is one per-key outcome in a /v1/batch response.
-type batchResult struct {
-	Key      uint64 `json:"key"`
-	ValueB64 string `json:"value_b64,omitempty"`
-	Error    string `json:"error,omitempty"`
-}
-
-// batchHandler serves POST /v1/batch: the whole batch travels as one
-// multi-op request per shard and the writes commit as group-commit
-// epochs. Per-key failures are reported in place; the HTTP status
-// stays 200 unless the request itself is malformed.
-func batchHandler(st *store.Store, reqTimeout time.Duration, tr *tracer) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
-			return
-		}
-		var req batchRequest
-		if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad batch body: %w", err))
-			return
-		}
-		sp, t0 := tr.begin(tr.batch, w, r)
-		ctx, cancel := context.WithTimeout(span.NewContext(r.Context(), sp), reqTimeout)
-		defer cancel()
-
-		putRes := make([]batchResult, len(req.Puts))
-		kvs := make([]store.KV, 0, len(req.Puts))
-		kvIdx := make([]int, 0, len(req.Puts))
-		for i, p := range req.Puts {
-			putRes[i].Key = p.Key
-			v, err := base64.StdEncoding.DecodeString(p.ValueB64)
-			if err != nil {
-				putRes[i].Error = "bad value_b64: " + err.Error()
-				continue
-			}
-			kvs = append(kvs, store.KV{Key: p.Key, Value: v})
-			kvIdx = append(kvIdx, i)
-		}
-		var firstErr error
-		for j, err := range st.PutBatch(ctx, kvs) {
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				putRes[kvIdx[j]].Error = err.Error()
-			}
-		}
-
-		getRes := make([]batchResult, len(req.Gets))
-		values, errs := st.GetBatch(ctx, req.Gets)
-		for i, key := range req.Gets {
-			getRes[i].Key = key
-			if errs[i] != nil {
-				if firstErr == nil {
-					firstErr = redErr(errs[i])
-				}
-				getRes[i].Error = errs[i].Error()
-				continue
-			}
-			getRes[i].ValueB64 = base64.StdEncoding.EncodeToString(values[i])
-		}
-		tr.batch.Done(sp, t0, firstErr)
-		resp := map[string]any{"puts": putRes, "gets": getRes}
-		if sp != nil {
-			resp["timing"] = sp.Timing()
-		}
-		writeJSON(w, resp)
-	}
-}
-
-// shardHealthState is one shard's entry in the /v1/health report:
-// its state-machine position joined with the heal counters and the
-// rebuild watermark.
-type shardHealthState struct {
-	Shard          int    `json:"shard"`
-	Health         string `json:"health"`
-	Serving        bool   `json:"serving"`
-	Failures       uint64 `json:"failures"`
-	HealAttempts   uint64 `json:"heal_attempts"`
-	Heals          uint64 `json:"heals"`
-	Recoveries     uint64 `json:"recoveries"`
-	RecoveringNack uint64 `json:"recovering_nacks"`
-	DegradedWrites uint64 `json:"degraded_writes"`
-	LeavesDone     uint64 `json:"recovery_leaves_done"`
-	LeavesTotal    uint64 `json:"recovery_leaves_total"`
-}
-
-// healthReport is the /v1/health body. Status is "ok", "recovering"
-// (a rebuild is in flight but every shard still serves), or
-// "degraded" (at least one shard is quarantined; the response is
-// 503 so load balancers can drain the instance).
-type healthReport struct {
-	Status string             `json:"status"`
-	Shards []shardHealthState `json:"shards"`
-}
-
-// degradation classifies the retryable serving failures: which
-// shard-level condition caused the 503 and how long a well-behaved
-// client should wait before retrying. Recovering shards clear
-// fastest (one rebuild chunk), overload clears as soon as the queue
-// drains, and a failed shard needs at least one heal-loop pass.
-func degradation(err error) (reason string, retryAfter time.Duration, ok bool) {
-	switch {
-	case errors.Is(err, store.ErrShardFailed):
-		return "failed", 500 * time.Millisecond, true
-	case errors.Is(err, store.ErrRecovering):
-		return "recovering", 100 * time.Millisecond, true
-	case errors.Is(err, store.ErrOverloaded):
-		return "overloaded", 25 * time.Millisecond, true
-	}
-	return "", 0, false
-}
-
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, store.ErrNotFound):
-		return http.StatusNotFound
-	case errors.Is(err, store.ErrOverloaded),
-		errors.Is(err, store.ErrRecovering),
-		errors.Is(err, store.ErrShardFailed),
-		errors.Is(err, store.ErrClosed):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, store.ErrValueTooLarge), errors.Is(err, store.ErrOutOfRange):
-		return http.StatusBadRequest
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-// httpError writes the JSON error body. Retryable degradations
-// (overload, online recovery, quarantine) are forced to 503 and
-// carry both a Retry-After header (whole seconds, the HTTP
-// contract) and a finer-grained retry_after_ms field in the body.
-func httpError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	body := map[string]any{"error": err.Error()}
-	if reason, wait, ok := degradation(err); ok {
-		code = http.StatusServiceUnavailable
-		secs := int((wait + time.Second - 1) / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		body["reason"] = reason
-		body["retry_after_ms"] = wait.Milliseconds()
-	}
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(body)
 }

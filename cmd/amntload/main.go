@@ -24,14 +24,26 @@
 // together), exercising the server's group-commit path; every op in
 // the group is charged the batch round-trip latency.
 //
+// Cluster mode (-cluster -nodes id=url,id=url,...) routes client-side
+// with the same consistent-hash ring library the nodes and amntproxy
+// use: every op goes straight to its key's owner, batches are
+// bucketed per node, and a 421 Misdirected Request (a partition moved
+// mid-run) is followed once via its ownership hint — counted in the
+// `redirects` field — after patching the local ring. The report then
+// carries a per-node breakdown (ops, latency quantiles, retries,
+// redirects) merged across clients.
+//
 // Example:
 //
 //	amntload -addr http://localhost:8080 -workload ycsb-a -clients 8 -ops 20000
 //	amntload -addr http://localhost:8080 -batch 32 -json > BENCH_store.json
+//	amntload -cluster -nodes n1=http://127.0.0.1:8081,n2=http://127.0.0.1:8082 \
+//	         -batch 32 -json > BENCH_cluster.json
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/binary"
 	"encoding/json"
@@ -46,6 +58,7 @@ import (
 	"sync"
 	"time"
 
+	"amnt/internal/cluster"
 	"amnt/internal/stats"
 	"amnt/internal/telemetry/span"
 	"amnt/internal/workload"
@@ -65,6 +78,11 @@ func main() {
 		retryMax  = flag.Int("retry-max", 4, "503 retries per op before counting it as an overload (0 = never retry)")
 		retryBase = flag.Duration("retry-base", 5*time.Millisecond, "backoff floor for 503 retries when the server sends no retry hint")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON (BENCH_store.json format)")
+
+		clusterOn  = flag.Bool("cluster", false, "route client-side by consistent-hash ring instead of a single -addr")
+		nodesSet   = flag.String("nodes", "", "cluster member list as id=url,id=url — must match the nodes' -cluster-nodes")
+		partitions = flag.Int("partitions", 0, "cluster partition count (0 = 64); must match the nodes")
+		vnodes     = flag.Int("vnodes", 0, "virtual nodes per ring member (0 = 128); must match the nodes")
 	)
 	flag.Parse()
 	if *valueLen < 8 || *valueLen > 63 {
@@ -89,6 +107,22 @@ func main() {
 		}
 	}
 
+	// Cluster mode: one shared ring-routing client so 421 hints
+	// learned by any load goroutine help them all.
+	var router *cluster.Client
+	if *clusterOn {
+		members, err := cluster.ParseMembers(*nodesSet)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amntload:", err)
+			os.Exit(1)
+		}
+		if len(members) == 0 {
+			fmt.Fprintln(os.Stderr, "amntload: -cluster needs -nodes id=url,id=url,...")
+			os.Exit(1)
+		}
+		router = cluster.NewClient(cluster.InitialState(*partitions, *vnodes, members))
+	}
+
 	perClient := *ops / *clients
 	if perClient == 0 {
 		perClient = 1
@@ -107,7 +141,7 @@ func main() {
 				base: *retryBase,
 				rng:  rand.New(rand.NewSource(*seed ^ int64(i)*0x9E3779B9)),
 			}
-			results[i] = runClient(*addr, workload.NewTrace(cs, *seed+int64(i)), *keyspace, *valueLen, *batchN, rp)
+			results[i] = runClient(*addr, router, workload.NewTrace(cs, *seed+int64(i)), *keyspace, *valueLen, *batchN, rp)
 		}(i)
 	}
 	wg.Wait()
@@ -125,12 +159,15 @@ func main() {
 	for p := range phaseHist {
 		phaseHist[p] = stats.NewHistogram()
 	}
+	nodeHists := map[string]*stats.Histogram{}
+	nodeSums := map[string]*nodeAgg{}
 	for _, r := range results {
 		merged.Gets += r.gets
 		merged.Puts += r.puts
 		merged.NotFound += r.notFound
 		merged.Overloads += r.overloads
 		merged.Retries += r.retries
+		merged.Redirects += r.redirects
 		merged.Corruptions += r.corruptions
 		merged.Errors += r.errors
 		merged.TimingSamples += r.timings
@@ -140,6 +177,19 @@ func main() {
 		srvTotal.Merge(r.srvTotal)
 		for p := range phaseHist {
 			phaseHist[p].Merge(r.phaseLat[p])
+		}
+		for id, agg := range r.nodes {
+			sum := nodeSums[id]
+			if sum == nil {
+				sum = &nodeAgg{lat: stats.NewHistogram()}
+				nodeSums[id] = sum
+				nodeHists[id] = sum.lat
+			}
+			sum.gets += agg.gets
+			sum.puts += agg.puts
+			sum.retries += agg.retries
+			sum.redirects += agg.redirects
+			nodeHists[id].Merge(agg.lat)
 		}
 	}
 	total := merged.Gets + merged.Puts
@@ -158,6 +208,19 @@ func main() {
 		}
 		merged.PhaseLat["total"] = quantiles(srvTotal)
 	}
+	if len(nodeSums) > 0 {
+		merged.Nodes = make(map[string]nodeReport, len(nodeSums))
+		for id, sum := range nodeSums {
+			merged.Nodes[id] = nodeReport{
+				Ops:       sum.gets + sum.puts,
+				Gets:      sum.gets,
+				Puts:      sum.puts,
+				Retries:   sum.retries,
+				Redirects: sum.redirects,
+				Lat:       quantiles(sum.lat),
+			}
+		}
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -174,8 +237,12 @@ func main() {
 			fmt.Printf("error latency µs: p50=%d p99=%d max=%d\n",
 				merged.ErrLat.P50, merged.ErrLat.P99, merged.ErrLat.Max)
 		}
-		fmt.Printf("not-found=%d overloaded=%d retries=%d errors=%d corruptions=%d\n",
-			merged.NotFound, merged.Overloads, merged.Retries, merged.Errors, merged.Corruptions)
+		fmt.Printf("not-found=%d overloaded=%d retries=%d redirects=%d errors=%d corruptions=%d\n",
+			merged.NotFound, merged.Overloads, merged.Retries, merged.Redirects, merged.Errors, merged.Corruptions)
+		for id, n := range merged.Nodes {
+			fmt.Printf("node %s: %d ops (%d gets, %d puts) p50=%dµs p99=%dµs retries=%d redirects=%d\n",
+				id, n.Ops, n.Gets, n.Puts, n.Lat.P50, n.Lat.P99, n.Retries, n.Redirects)
+		}
 		if merged.TimingSamples > 0 {
 			fmt.Printf("server phase breakdown (p50 µs over %d samples):", merged.TimingSamples)
 			for p := span.Phase(0); p < span.NumPhases; p++ {
@@ -223,8 +290,13 @@ type report struct {
 	// counts the retried attempts themselves. Retried attempts are
 	// excluded from every latency histogram (including errors_latency)
 	// so backoff sleeps cannot masquerade as service time.
-	Overloads   uint64       `json:"overloads"`
-	Retries     uint64       `json:"retries"`
+	Overloads uint64 `json:"overloads"`
+	Retries   uint64 `json:"retries"`
+	// Redirects counts 421 Misdirected Request answers that were
+	// followed via their ownership hint (cluster mode only): each one
+	// is a partition the client's ring had stale until the hint
+	// patched it.
+	Redirects   uint64       `json:"redirects,omitempty"`
 	Errors      uint64       `json:"errors"`
 	Corruptions uint64       `json:"corruptions"`
 	GetLat      latQuantiles `json:"get_latency"`
@@ -237,13 +309,36 @@ type report struct {
 	// server-observed "total"), omitting phases with no samples.
 	TimingSamples uint64                  `json:"timing_samples"`
 	PhaseLat      map[string]latQuantiles `json:"phase_latency,omitempty"`
+	// Nodes is the cluster-mode per-node breakdown, merged across
+	// clients (histograms via stats.Histogram.Merge).
+	Nodes map[string]nodeReport `json:"nodes,omitempty"`
+}
+
+// nodeReport is one node's slice of a cluster-mode run.
+type nodeReport struct {
+	Ops       uint64       `json:"ops"`
+	Gets      uint64       `json:"gets"`
+	Puts      uint64       `json:"puts"`
+	Retries   uint64       `json:"retries"`
+	Redirects uint64       `json:"redirects"`
+	Lat       latQuantiles `json:"latency"`
+}
+
+// nodeAgg accumulates one client's traffic to one node; successful
+// request latencies only, matching the top-level histograms.
+type nodeAgg struct {
+	gets, puts, retries, redirects uint64
+	lat                            *stats.Histogram
 }
 
 type clientResult struct {
 	gets, puts, notFound, overloads, corruptions, errors uint64
 	// retries counts 503 attempts that were retried in place rather
-	// than charged to the op's outcome.
-	retries uint64
+	// than charged to the op's outcome; redirects counts followed 421
+	// ownership hints (cluster mode).
+	retries, redirects uint64
+	// nodes is the cluster-mode per-node breakdown, keyed by node id.
+	nodes map[string]*nodeAgg
 	// getLat/putLat hold successful request latencies only (a miss is
 	// a success); overloaded and failed requests land in errLat so
 	// backpressure spikes cannot skew the service-time quantiles.
@@ -255,6 +350,23 @@ type clientResult struct {
 	timings  uint64
 	phaseLat [span.NumPhases]*stats.Histogram
 	srvTotal *stats.Histogram
+}
+
+// node returns the per-node aggregate for id, creating it on first
+// touch. A blank id (single-node mode) aggregates nowhere.
+func (res *clientResult) node(id string) *nodeAgg {
+	if id == "" {
+		return nil
+	}
+	if res.nodes == nil {
+		res.nodes = map[string]*nodeAgg{}
+	}
+	agg := res.nodes[id]
+	if agg == nil {
+		agg = &nodeAgg{lat: stats.NewHistogram()}
+		res.nodes[id] = agg
+	}
+	return agg
 }
 
 // observeTiming folds one server-reported phase breakdown into the
@@ -272,6 +384,7 @@ func (res *clientResult) observeTiming(t *span.Timing) {
 		span.CommitClimb:   t.CommitClimbUs,
 		span.Persist:       t.PersistUs,
 		span.EpochFallback: t.EpochFallbackUs,
+		span.Forward:       t.ForwardUs,
 		span.Ack:           t.AckUs,
 	} {
 		if us > 0 {
@@ -374,7 +487,7 @@ func valueFor(key uint64, n int) []byte {
 	return v
 }
 
-func runClient(addr string, trace *workload.Trace, keyspace uint64, valueLen int, batch int, rp *retryPolicy) clientResult {
+func runClient(addr string, router *cluster.Client, trace *workload.Trace, keyspace uint64, valueLen int, batch int, rp *retryPolicy) clientResult {
 	res := clientResult{
 		getLat: stats.NewHistogram(), putLat: stats.NewHistogram(),
 		errLat: stats.NewHistogram(), srvTotal: stats.NewHistogram(),
@@ -384,8 +497,53 @@ func runClient(addr string, trace *workload.Trace, keyspace uint64, valueLen int
 	}
 	httpc := &http.Client{Timeout: 10 * time.Second}
 	if batch > 1 {
-		runBatched(addr, trace, keyspace, valueLen, batch, httpc, &res, rp)
+		runBatched(addr, router, trace, keyspace, valueLen, batch, httpc, &res, rp)
 		return res
+	}
+	// route resolves a key to (node id, base URL): the ring owner in
+	// cluster mode, the fixed -addr otherwise.
+	route := func(key uint64) (string, string) {
+		if router != nil {
+			if id, base, err := router.Route(key); err == nil {
+				return id, base
+			}
+		}
+		return "", addr
+	}
+	// doKV issues one routed request with 503-retry, charging retried
+	// attempts to the serving node. A final 421 (the partition moved
+	// mid-run) patches the local ring from the ownership hint and is
+	// followed exactly once.
+	doKV := func(key uint64, fn func(url string) attempt) (attempt, string) {
+		id, base := route(key)
+		issue := func(id, base string) attempt {
+			before := res.retries
+			a := rp.do(&res, func() attempt {
+				return fn(fmt.Sprintf("%s/v1/kv/%d", base, key))
+			})
+			if agg := res.node(id); agg != nil {
+				agg.retries += res.retries - before
+			}
+			return a
+		}
+		a := issue(id, base)
+		if router != nil && a.err == nil && a.resp.StatusCode == http.StatusMisdirectedRequest {
+			var h cluster.OwnershipHint
+			if json.Unmarshal(a.body, &h) == nil && h.OwnerAddr != "" {
+				router.Hint(h)
+				res.redirects++
+				if agg := res.node(id); agg != nil {
+					agg.redirects++
+				}
+				if rid, raddr, err := router.Route(key); err == nil {
+					id, base = rid, raddr
+				} else {
+					id, base = h.Owner, h.OwnerAddr
+				}
+				a = issue(id, base)
+			}
+		}
+		return a, id
 	}
 	for {
 		acc, ok := trace.Next()
@@ -393,9 +551,8 @@ func runClient(addr string, trace *workload.Trace, keyspace uint64, valueLen int
 			break
 		}
 		key := (acc.VAddr / 64) % keyspace
-		url := fmt.Sprintf("%s/v1/kv/%d", addr, key)
 		if acc.Write {
-			a := rp.do(&res, func() attempt {
+			a, nid := doKV(key, func(url string) attempt {
 				req, _ := http.NewRequest(http.MethodPut, url, bytes.NewReader(valueFor(key, valueLen)))
 				return timedDo(httpc, req)
 			})
@@ -414,6 +571,10 @@ func runClient(addr string, trace *workload.Trace, keyspace uint64, valueLen int
 				res.errLat.Observe(a.us)
 			default:
 				res.putLat.Observe(a.us)
+				if agg := res.node(nid); agg != nil {
+					agg.puts++
+					agg.lat.Observe(a.us)
+				}
 				var out struct {
 					Timing *span.Timing `json:"timing"`
 				}
@@ -423,7 +584,7 @@ func runClient(addr string, trace *workload.Trace, keyspace uint64, valueLen int
 			}
 			continue
 		}
-		a := rp.do(&res, func() attempt {
+		a, nid := doKV(key, func(url string) attempt {
 			req, _ := http.NewRequest(http.MethodGet, url, nil)
 			return timedDo(httpc, req)
 		})
@@ -436,6 +597,10 @@ func runClient(addr string, trace *workload.Trace, keyspace uint64, valueLen int
 		switch a.resp.StatusCode {
 		case http.StatusOK:
 			res.getLat.Observe(a.us)
+			if agg := res.node(nid); agg != nil {
+				agg.gets++
+				agg.lat.Observe(a.us)
+			}
 			var out struct {
 				Key      uint64       `json:"key"`
 				ValueB64 string       `json:"value_b64"`
@@ -454,6 +619,10 @@ func runClient(addr string, trace *workload.Trace, keyspace uint64, valueLen int
 			// A miss is a valid answer: success latency, not error.
 			res.notFound++
 			res.getLat.Observe(a.us)
+			if agg := res.node(nid); agg != nil {
+				agg.gets++
+				agg.lat.Observe(a.us)
+			}
 		case http.StatusServiceUnavailable:
 			res.overloads++
 			res.errLat.Observe(a.us)
@@ -467,29 +636,58 @@ func runClient(addr string, trace *workload.Trace, keyspace uint64, valueLen int
 
 // runBatched replays the trace through POST /v1/batch, `batch` ops
 // per request. Per-key outcomes come back in place with HTTP 200, so
-// errors are classified by their message: backpressure counts as an
+// errors are classified by their message: backpressure (including a
+// migration write fence or an adoption in flight) counts as an
 // overload, a missing key as not-found, anything else as an error.
-func runBatched(addr string, trace *workload.Trace, keyspace uint64, valueLen int, batch int, httpc *http.Client, res *clientResult, rp *retryPolicy) {
+// In cluster mode ops are bucketed per owning node — one batch never
+// spans nodes — and a per-key not-owned answer refreshes the local
+// ring from that node before the next bucket fills.
+func runBatched(addr string, router *cluster.Client, trace *workload.Trace, keyspace uint64, valueLen int, batch int, httpc *http.Client, res *clientResult, rp *retryPolicy) {
 	type batchOp struct {
 		Key      uint64 `json:"key"`
 		ValueB64 string `json:"value_b64,omitempty"`
 		Error    string `json:"error,omitempty"`
 	}
-	puts := make([]batchOp, 0, batch)
-	gets := make([]uint64, 0, batch)
-	flush := func() {
-		if len(puts)+len(gets) == 0 {
+	type bucket struct {
+		id, base string
+		puts     []batchOp
+		gets     []uint64
+	}
+	buckets := map[string]*bucket{}
+	bucketFor := func(key uint64) *bucket {
+		id, base := "", addr
+		if router != nil {
+			if rid, raddr, err := router.Route(key); err == nil {
+				id, base = rid, raddr
+			}
+		}
+		b := buckets[id]
+		if b == nil {
+			b = &bucket{id: id, base: base}
+			buckets[id] = b
+		}
+		b.base = base
+		return b
+	}
+	flush := func(b *bucket) {
+		if len(b.puts)+len(b.gets) == 0 {
 			return
 		}
-		body, _ := json.Marshal(map[string]any{"puts": puts, "gets": gets})
+		nOps := len(b.puts) + len(b.gets)
+		body, _ := json.Marshal(map[string]any{"puts": b.puts, "gets": b.gets})
+		agg := res.node(b.id)
+		before := res.retries
 		a := rp.do(res, func() attempt {
-			req, _ := http.NewRequest(http.MethodPost, addr+"/v1/batch", bytes.NewReader(body))
+			req, _ := http.NewRequest(http.MethodPost, b.base+"/v1/batch", bytes.NewReader(body))
 			req.Header.Set("Content-Type", "application/json")
 			return timedDo(httpc, req)
 		})
-		res.puts += uint64(len(puts))
-		res.gets += uint64(len(gets))
-		defer func() { puts, gets = puts[:0], gets[:0] }()
+		if agg != nil {
+			agg.retries += res.retries - before
+		}
+		res.puts += uint64(len(b.puts))
+		res.gets += uint64(len(b.gets))
+		defer func() { b.puts, b.gets = b.puts[:0], b.gets[:0] }()
 		// Every op in the group is charged the batch round-trip
 		// latency; a failed round trip charges them all to errLat.
 		observeAll := func(h *stats.Histogram, n int) {
@@ -498,36 +696,50 @@ func runBatched(addr string, trace *workload.Trace, keyspace uint64, valueLen in
 			}
 		}
 		if a.err != nil {
-			res.errors += uint64(len(puts) + len(gets))
-			observeAll(res.errLat, len(puts)+len(gets))
+			res.errors += uint64(nOps)
+			observeAll(res.errLat, nOps)
 			return
 		}
 		if a.resp.StatusCode != http.StatusOK {
 			if a.resp.StatusCode == http.StatusServiceUnavailable {
-				res.overloads += uint64(len(puts) + len(gets))
+				res.overloads += uint64(nOps)
 			} else {
-				res.errors += uint64(len(puts) + len(gets))
+				res.errors += uint64(nOps)
 			}
-			observeAll(res.errLat, len(puts)+len(gets))
+			observeAll(res.errLat, nOps)
 			return
 		}
-		observeAll(res.putLat, len(puts))
-		observeAll(res.getLat, len(gets))
+		observeAll(res.putLat, len(b.puts))
+		observeAll(res.getLat, len(b.gets))
+		if agg != nil {
+			agg.puts += uint64(len(b.puts))
+			agg.gets += uint64(len(b.gets))
+			observeAll(agg.lat, nOps)
+		}
 		var out struct {
 			Puts   []batchOp    `json:"puts"`
 			Gets   []batchOp    `json:"gets"`
 			Timing *span.Timing `json:"timing"`
 		}
 		if err := json.Unmarshal(a.body, &out); err != nil {
-			res.errors += uint64(len(puts) + len(gets))
+			res.errors += uint64(nOps)
 			return
 		}
 		res.observeTiming(out.Timing)
+		stale := false
 		classify := func(msg string) {
 			switch {
+			case strings.Contains(msg, "not owned"):
+				// The partition moved mid-run: retryable, and worth a
+				// ring refresh from the node that bounced us.
+				res.overloads++
+				stale = true
 			case strings.Contains(msg, "queue full"),
 				strings.Contains(msg, "recovering"),
-				strings.Contains(msg, "shard failed"):
+				strings.Contains(msg, "shard failed"),
+				strings.Contains(msg, "fenced"),
+				strings.Contains(msg, "adopt"),
+				strings.Contains(msg, "down"):
 				// Per-key retryable outcomes inside a 200 batch: counted
 				// like backpressure, not hard errors.
 				res.overloads++
@@ -552,6 +764,16 @@ func runBatched(addr string, trace *workload.Trace, keyspace uint64, valueLen in
 				res.corruptions++
 			}
 		}
+		if stale && router != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			if ok, _ := router.Refresh(ctx, httpc, b.base); ok {
+				res.redirects++
+				if agg != nil {
+					agg.redirects++
+				}
+			}
+			cancel()
+		}
 	}
 	for {
 		acc, ok := trace.Next()
@@ -559,17 +781,20 @@ func runBatched(addr string, trace *workload.Trace, keyspace uint64, valueLen in
 			break
 		}
 		key := (acc.VAddr / 64) % keyspace
+		b := bucketFor(key)
 		if acc.Write {
-			puts = append(puts, batchOp{
+			b.puts = append(b.puts, batchOp{
 				Key:      key,
 				ValueB64: base64.StdEncoding.EncodeToString(valueFor(key, valueLen)),
 			})
 		} else {
-			gets = append(gets, key)
+			b.gets = append(b.gets, key)
 		}
-		if len(puts)+len(gets) == batch {
-			flush()
+		if len(b.puts)+len(b.gets) == batch {
+			flush(b)
 		}
 	}
-	flush()
+	for _, b := range buckets {
+		flush(b)
+	}
 }

@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NodeStatus is one node's membership verdict as seen by the
+// registry: the pulse freshness joined with the health the node
+// reported on its last pulse.
+type NodeStatus struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	// Health is the node's self-reported /v1/health status ("ok",
+	// "recovering", "degraded"), or "unknown" before the first pulse.
+	Health string `json:"health"`
+	// Alive is the registry's TTL verdict: false once the node has
+	// missed enough pulses that its partitions were reassigned.
+	Alive bool `json:"alive"`
+	// LastPulseMS is how long ago the node last pulsed, milliseconds.
+	LastPulseMS int64 `json:"last_pulse_ms"`
+	// Owned is the partition count currently assigned to the node.
+	Owned int `json:"owned"`
+}
+
+// View is the atomically-published routing snapshot the proxy's
+// request path reads: the current ring state, per-node status, and
+// the set of partitions orphaned mid-adoption (routed 503 until the
+// adopter activates them).
+type View struct {
+	State   *State
+	Status  map[string]NodeStatus
+	Pending map[int]string // partition → adopting node id
+}
+
+// Reassign is one partition hand-off decision a Sweep produced: the
+// partition lost its owner and the registry picked a new one. The
+// caller (the proxy's sweep loop) drives the actual adoption and
+// calls AdoptDone when the new owner serves it.
+type Reassign struct {
+	Partition int
+	From      string // the dead node
+	To        string // the chosen adopter
+	ToAddr    string
+}
+
+// Registry is the cluster's membership authority: nodes register and
+// pulse, the sweep marks silent nodes down and reassigns their
+// partitions onto the surviving ring, and every change publishes a
+// fresh View and advances the ring epoch. One Registry instance runs
+// inside the proxy; nodes are clients of it.
+type Registry struct {
+	ttl time.Duration
+
+	mu      sync.Mutex
+	state   *State
+	nodes   map[string]*nodeRec
+	pending map[int]string
+
+	published atomic.Pointer[View]
+}
+
+type nodeRec struct {
+	member    Member
+	health    string
+	lastPulse time.Time
+	alive     bool
+	pulses    uint64
+}
+
+// NewRegistry seeds a registry with the boot-time state (from
+// InitialState) and the pulse TTL after which a silent node is
+// declared down. Every member starts alive with an "unknown" health
+// so a cluster that boots all at once has no down-flap window.
+func NewRegistry(initial *State, ttl time.Duration, now time.Time) *Registry {
+	if ttl <= 0 {
+		ttl = 2 * time.Second
+	}
+	r := &Registry{
+		ttl:     ttl,
+		state:   initial.Clone(),
+		nodes:   make(map[string]*nodeRec),
+		pending: make(map[int]string),
+	}
+	for _, m := range initial.Members {
+		r.nodes[m.ID] = &nodeRec{member: m, health: "unknown", lastPulse: now, alive: true}
+	}
+	r.publishLocked(now)
+	return r
+}
+
+// View returns the latest published routing snapshot. Lock-free;
+// safe from any goroutine.
+func (r *Registry) View() *View { return r.published.Load() }
+
+// publishLocked rebuilds the View from the working state. Caller
+// holds r.mu.
+func (r *Registry) publishLocked(now time.Time) {
+	owned := map[string]int{}
+	for _, id := range r.state.Assign {
+		owned[id]++
+	}
+	status := make(map[string]NodeStatus, len(r.nodes))
+	for id, n := range r.nodes {
+		status[id] = NodeStatus{
+			ID:          id,
+			Addr:        n.member.Addr,
+			Health:      n.health,
+			Alive:       n.alive,
+			LastPulseMS: now.Sub(n.lastPulse).Milliseconds(),
+			Owned:       owned[id],
+		}
+	}
+	pending := make(map[int]string, len(r.pending))
+	for p, id := range r.pending {
+		pending[p] = id
+	}
+	r.published.Store(&View{State: r.state.Clone(), Status: status, Pending: pending})
+}
+
+// Register (re)announces a node. A node unknown to the boot state
+// joins the member list but takes no partitions until a Rebalance or
+// Sweep hands it some; a known node registering again (a restart)
+// just refreshes its pulse. Returns the current ring state for the
+// node to install.
+func (r *Registry) Register(m Member, now time.Time) *State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.nodes[m.ID]
+	if n == nil {
+		n = &nodeRec{member: m}
+		r.nodes[m.ID] = n
+		r.state.Members = append(r.state.Members, m)
+		sort.Slice(r.state.Members, func(i, j int) bool { return r.state.Members[i].ID < r.state.Members[j].ID })
+		r.state.Epoch++
+	}
+	n.member.Addr = m.Addr
+	n.health = "unknown"
+	n.lastPulse = now
+	n.alive = true
+	r.publishLocked(now)
+	return r.state.Clone()
+}
+
+// Pulse records one heartbeat: the node is alive and reports its
+// /v1/health status. Returns the current ring state so every
+// heartbeat doubles as a ring refresh. Unknown nodes get an error —
+// they must Register first.
+func (r *Registry) Pulse(id, health string, now time.Time) (*State, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.nodes[id]
+	if n == nil {
+		return nil, fmt.Errorf("cluster: pulse from unregistered node %q", id)
+	}
+	revived := !n.alive
+	n.lastPulse = now
+	n.alive = true
+	n.health = health
+	n.pulses++
+	if revived {
+		r.state.Epoch++ // routers must re-learn that the node is back
+	}
+	r.publishLocked(now)
+	return r.state.Clone(), nil
+}
+
+// Sweep applies the TTL: nodes silent past it are marked down and
+// their partitions are reassigned onto a ring of the remaining alive
+// members. The returned list is the adoption work; each partition is
+// also tracked as pending (routed 503 "adopting") until AdoptDone.
+// Partitions already pending are not reassigned again unless their
+// adopter also died.
+func (r *Registry) Sweep(now time.Time) []Reassign {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	changed := false
+	var alive []string
+	for id, n := range r.nodes {
+		if n.alive && now.Sub(n.lastPulse) > r.ttl {
+			n.alive = false
+			changed = true
+		}
+		if n.alive {
+			alive = append(alive, id)
+		}
+	}
+	if !changed {
+		r.publishLocked(now) // refresh LastPulseMS even when idle
+		return nil
+	}
+	if len(alive) == 0 {
+		r.state.Epoch++
+		r.publishLocked(now)
+		return nil
+	}
+
+	ring := NewRing(alive, r.state.VNodes)
+	var out []Reassign
+	for p, owner := range r.state.Assign {
+		ownerDead := owner == "" || !r.aliveLocked(owner)
+		if !ownerDead {
+			continue
+		}
+		if adopter, ok := r.pending[p]; ok && r.aliveLocked(adopter) {
+			continue // already being adopted by a live node
+		}
+		to := ring.Owner(p)
+		r.state.Assign[p] = to
+		r.pending[p] = to
+		out = append(out, Reassign{Partition: p, From: owner, To: to, ToAddr: r.addrLocked(to)})
+	}
+	r.state.Epoch++
+	r.publishLocked(now)
+	return out
+}
+
+func (r *Registry) aliveLocked(id string) bool {
+	n := r.nodes[id]
+	return n != nil && n.alive
+}
+
+func (r *Registry) addrLocked(id string) string {
+	if n := r.nodes[id]; n != nil {
+		return n.member.Addr
+	}
+	return ""
+}
+
+// AdoptDone clears a partition's pending-adoption marker: the new
+// owner has activated it and routers may send traffic.
+func (r *Registry) AdoptDone(part int, now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.pending[part]; ok {
+		delete(r.pending, part)
+		r.state.Epoch++
+		r.publishLocked(now)
+	}
+}
+
+// Flip moves one partition's ownership — the ring-flip step of a
+// planned live migration. The destination must be a live member.
+func (r *Registry) Flip(part int, to string, now time.Time) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if part < 0 || part >= len(r.state.Assign) {
+		return fmt.Errorf("cluster: flip of unknown partition %d", part)
+	}
+	if !r.aliveLocked(to) {
+		return fmt.Errorf("cluster: flip %d to non-member or dead node %q", part, to)
+	}
+	if r.state.Assign[part] == to {
+		return nil
+	}
+	r.state.Assign[part] = to
+	r.state.Epoch++
+	r.publishLocked(now)
+	return nil
+}
+
+// State returns a copy of the current ring state.
+func (r *Registry) State() *State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state.Clone()
+}

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func memberIDs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%d", i)
+	}
+	return out
+}
+
+func members(n int) []Member {
+	out := make([]Member, n)
+	for i := range out {
+		out[i] = Member{ID: fmt.Sprintf("node-%d", i), Addr: fmt.Sprintf("http://10.0.0.%d:8080", i+1)}
+	}
+	return out
+}
+
+// TestRingUniformDistribution checks the χ² statistic of the
+// partition→node placement against the uniform expectation: with 128
+// vnodes per node, 1024 partitions over 5 nodes must not deviate
+// from E = P/N by more than a generous χ² bound (df = 4; the 99.9th
+// percentile is ~18.5, we allow 60 to keep the test robust to any
+// future constant tweak while still catching real skew, which lands
+// in the hundreds).
+func TestRingUniformDistribution(t *testing.T) {
+	const (
+		nodes      = 5
+		partitions = 1024
+		vnodes     = 128
+	)
+	r := NewRing(memberIDs(nodes), vnodes)
+	counts := map[string]int{}
+	for p := 0; p < partitions; p++ {
+		owner := r.Owner(p)
+		if owner == "" {
+			t.Fatalf("partition %d unowned", p)
+		}
+		counts[owner]++
+	}
+	if len(counts) != nodes {
+		t.Fatalf("placement uses %d of %d nodes: %v", len(counts), nodes, counts)
+	}
+	expected := float64(partitions) / nodes
+	chi2 := 0.0
+	for id, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+		// No node may hold a pathological share: within ±50% of fair.
+		if f := float64(c) / expected; f < 0.5 || f > 1.5 {
+			t.Fatalf("node %s holds %d partitions (%.0f%% of fair share %v)", id, c, f*100, counts)
+		}
+	}
+	if chi2 > 60 {
+		t.Fatalf("χ² = %.1f over bound 60; placement skewed: %v", chi2, counts)
+	}
+}
+
+// TestRingKeyDistribution repeats the uniformity check one level up,
+// over the full key→partition→node composition the serving path
+// uses, so a bad interaction between key%P and the partition hash
+// cannot hide behind a uniform partition placement.
+func TestRingKeyDistribution(t *testing.T) {
+	const (
+		nodes      = 3
+		partitions = 64
+		keys       = 1 << 16
+	)
+	s := InitialState(partitions, 0, members(nodes))
+	counts := map[string]int{}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < keys; i++ {
+		key := rng.Uint64()
+		counts[s.Owner(int(key%uint64(partitions)))]++
+	}
+	expected := float64(keys) / nodes
+	for id, c := range counts {
+		if f := float64(c) / expected; f < 0.6 || f > 1.4 {
+			t.Fatalf("node %s serves %.0f%% of fair key share: %v", id, f*100, counts)
+		}
+	}
+}
+
+// TestRingMinimalRemapJoin pins the consistent-hash contract on
+// join: a new node takes ≈ P/(N+1) partitions, and every partition
+// that moves, moves TO the new node — no third-party churn.
+func TestRingMinimalRemapJoin(t *testing.T) {
+	const partitions = 1024
+	before := NewRing(memberIDs(5), DefaultVNodes)
+	joined := append(memberIDs(5), "node-new")
+	after := NewRing(joined, DefaultVNodes)
+
+	moved := 0
+	for p := 0; p < partitions; p++ {
+		a, b := before.Owner(p), after.Owner(p)
+		if a == b {
+			continue
+		}
+		moved++
+		if b != "node-new" {
+			t.Fatalf("partition %d moved %s→%s, not to the joining node", p, a, b)
+		}
+	}
+	// Expectation: P/(N+1) = 1024/6 ≈ 171. Allow a wide band; the
+	// failure mode being pinned is wholesale reshuffling (~853 moves
+	// for a modulo-style placement).
+	want := partitions / 6
+	if moved < want/2 || moved > want*2 {
+		t.Fatalf("join moved %d partitions, want ≈%d (K/N)", moved, want)
+	}
+}
+
+// TestRingMinimalRemapLeave pins the other direction: removing a
+// node moves exactly the partitions it owned, nothing else.
+func TestRingMinimalRemapLeave(t *testing.T) {
+	const partitions = 1024
+	ids := memberIDs(5)
+	before := NewRing(ids, DefaultVNodes)
+	after := NewRing(ids[:4], DefaultVNodes) // node-4 leaves
+
+	moved, owned := 0, 0
+	for p := 0; p < partitions; p++ {
+		a, b := before.Owner(p), after.Owner(p)
+		if a == "node-4" {
+			owned++
+			if b == "node-4" || b == "" {
+				t.Fatalf("partition %d still mapped to the departed node", p)
+			}
+			continue
+		}
+		if a != b {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("leave moved %d partitions not owned by the departed node", moved)
+	}
+	if owned == 0 {
+		t.Fatal("departed node owned nothing; test vacuous")
+	}
+}
+
+// TestRingDeterminism pins the boot contract: every participant
+// computes the identical assignment from the same triple, regardless
+// of member-list order.
+func TestRingDeterminism(t *testing.T) {
+	ms := members(4)
+	a := InitialState(256, 64, ms)
+	shuffled := []Member{ms[2], ms[0], ms[3], ms[1]}
+	b := InitialState(256, 64, shuffled)
+	if a.Epoch != b.Epoch || len(a.Assign) != len(b.Assign) {
+		t.Fatalf("state shape differs: %+v vs %+v", a, b)
+	}
+	for p := range a.Assign {
+		if a.Assign[p] != b.Assign[p] {
+			t.Fatalf("partition %d assignment differs: %s vs %s", p, a.Assign[p], b.Assign[p])
+		}
+	}
+	for i := range a.Members {
+		if a.Members[i] != b.Members[i] {
+			t.Fatalf("member order not canonical: %v vs %v", a.Members, b.Members)
+		}
+	}
+}
+
+// TestRingVNodesReduceImbalance demonstrates why virtual nodes
+// exist: the max/min partition share at 128 vnodes must beat the
+// 1-vnode ring's.
+func TestRingVNodesReduceImbalance(t *testing.T) {
+	const partitions = 4096
+	spread := func(vnodes int) float64 {
+		r := NewRing(memberIDs(8), vnodes)
+		counts := map[string]int{}
+		for p := 0; p < partitions; p++ {
+			counts[r.Owner(p)]++
+		}
+		min, max := partitions, 0
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if min == 0 {
+			return float64(partitions)
+		}
+		return float64(max) / float64(min)
+	}
+	coarse, fine := spread(1), spread(128)
+	if fine >= coarse {
+		t.Fatalf("128 vnodes (max/min %.2f) no better than 1 vnode (%.2f)", fine, coarse)
+	}
+	if fine > 2.0 {
+		t.Fatalf("128-vnode imbalance %.2f, want ≤ 2.0", fine)
+	}
+}
+
+// TestOwnedBy checks the node-boot slice: the per-member partition
+// lists partition the full space with no overlap.
+func TestOwnedBy(t *testing.T) {
+	s := InitialState(128, 0, members(3))
+	seen := map[int]string{}
+	total := 0
+	for _, m := range s.Members {
+		for _, p := range OwnedBy(s, m.ID) {
+			if prev, dup := seen[p]; dup {
+				t.Fatalf("partition %d owned by both %s and %s", p, prev, m.ID)
+			}
+			seen[p] = m.ID
+			total++
+		}
+	}
+	if total != 128 {
+		t.Fatalf("OwnedBy covers %d of 128 partitions", total)
+	}
+}
+
+// TestParseMembers pins the shared flag grammar.
+func TestParseMembers(t *testing.T) {
+	ms, err := ParseMembers("a=http://h1:1, b=http://h2:2/,c=http://h3:3")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(ms) != 3 || ms[1].ID != "b" || ms[1].Addr != "http://h2:2" {
+		t.Fatalf("parsed %+v", ms)
+	}
+	for _, bad := range []string{"a", "=x", "a=", "a=1,a=2"} {
+		if _, err := ParseMembers(bad); err == nil {
+			t.Fatalf("ParseMembers(%q) accepted", bad)
+		}
+	}
+	if ms, err := ParseMembers(""); err != nil || ms != nil {
+		t.Fatalf("empty spec: %v, %v", ms, err)
+	}
+}

@@ -1,0 +1,482 @@
+package node
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"amnt/internal/store"
+	"amnt/internal/telemetry/span"
+)
+
+// Mount attaches the node's routes to mux: the canonical surface
+// lives under /v1/, and every pre-versioning path stays mounted as a
+// deprecated alias of its /v1 successor.
+func (n *Node) Mount(mux *http.ServeMux) {
+	st, tr := n.st, n.tr
+	kv := func(prefix string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			key, err := strconv.ParseUint(strings.TrimPrefix(r.URL.Path, prefix), 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad key: %w", err))
+				return
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), n.reqTimeout)
+			defer cancel()
+			switch r.Method {
+			case http.MethodGet:
+				sp, t0 := tr.begin(tr.kvGet, w, r)
+				v, err := st.Get(span.NewContext(ctx, sp), key)
+				tr.kvGet.Done(sp, t0, redErr(err))
+				if err != nil {
+					n.kvError(w, r, err)
+					return
+				}
+				resp := map[string]any{
+					"key":       key,
+					"value_b64": base64.StdEncoding.EncodeToString(v),
+				}
+				if sp != nil {
+					resp["timing"] = sp.Timing()
+				}
+				writeJSON(w, resp)
+			case http.MethodPut, http.MethodPost:
+				body, err := io.ReadAll(io.LimitReader(r.Body, store.MaxValueLen+1))
+				if err != nil {
+					httpError(w, http.StatusBadRequest, err)
+					return
+				}
+				sp, t0 := tr.begin(tr.kvPut, w, r)
+				err = st.Put(span.NewContext(ctx, sp), key, body)
+				tr.kvPut.Done(sp, t0, err)
+				if err != nil {
+					n.kvError(w, r, err)
+					return
+				}
+				resp := map[string]any{"ok": true, "key": key}
+				if sp != nil {
+					resp["timing"] = sp.Timing()
+				}
+				writeJSON(w, resp)
+			default:
+				httpError(w, http.StatusMethodNotAllowed, errors.New("use GET or PUT"))
+			}
+		}
+	}
+	control := func(name string, op *span.Op, fn func(context.Context) error) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+				return
+			}
+			// Control ops (recover runs a full verify) get a wider
+			// deadline than the data path.
+			ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+			defer cancel()
+			sp, t0 := tr.begin(op, w, r)
+			err := fn(span.NewContext(ctx, sp))
+			op.Done(sp, t0, err)
+			if err != nil {
+				httpError(w, statusFor(err), err)
+				return
+			}
+			resp := map[string]any{"ok": true, "op": name}
+			if sp != nil {
+				resp["timing"] = sp.Timing()
+			}
+			writeJSON(w, resp)
+		}
+	}
+	chaos := func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+			return
+		}
+		q := r.URL.Query()
+		spec := store.ChaosSpec{Kind: q.Get("kind")}
+		if spec.Kind == "" {
+			spec.Kind = "torn"
+		}
+		if v := q.Get("shard"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			spec.Shard = n
+		}
+		if v := q.Get("seed"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			spec.Seed = n
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+		defer cancel()
+		sp, t0 := tr.begin(tr.chaos, w, r)
+		res, err := st.Chaos(span.NewContext(ctx, sp), spec)
+		tr.chaos.Done(sp, t0, err)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, res)
+	}
+	quarantine := func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+			return
+		}
+		shard := 0
+		if v := r.URL.Query().Get("shard"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			shard = n
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+		defer cancel()
+		sp, t0 := tr.begin(tr.quarantine, w, r)
+		err := st.Quarantine(span.NewContext(ctx, sp), shard)
+		tr.quarantine.Done(sp, t0, err)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, map[string]any{"ok": true, "op": "quarantine", "shard": shard})
+	}
+	stats := func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, st.Stats())
+	}
+	spans := func(w http.ResponseWriter, r *http.Request) {
+		nSpans := 100
+		if v := r.URL.Query().Get("n"); v != "" {
+			p, err := strconv.Atoi(v)
+			if err != nil || p <= 0 {
+				httpError(w, http.StatusBadRequest, errors.New("bad n"))
+				return
+			}
+			nSpans = p
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = tr.rec.WriteJSONL(w, nSpans)
+	}
+
+	mux.HandleFunc("/v1/kv/", kv("/v1/kv/"))
+	mux.HandleFunc("/v1/batch", n.batchHandler())
+	mux.HandleFunc("/v1/flush", control("flush", tr.flush, st.Flush))
+	mux.HandleFunc("/v1/checkpoint", control("checkpoint", tr.checkpoint, st.Checkpoint))
+	mux.HandleFunc("/v1/recover", control("recover", tr.recover, st.Recover))
+	mux.HandleFunc("/v1/chaos", chaos)
+	mux.HandleFunc("/v1/quarantine", quarantine)
+	mux.HandleFunc("/v1/store/stats", stats)
+	mux.HandleFunc("/v1/health", n.healthHandler)
+	mux.HandleFunc("/v1/spans", spans)
+	n.mountMigrate(mux)
+
+	// Pre-versioning aliases. Answer identically but advertise the
+	// successor route so clients can migrate before removal.
+	alias := func(old, successor string, h http.HandlerFunc) {
+		mux.HandleFunc(old, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+			h(w, r)
+		})
+	}
+	alias("/kv/", "/v1/kv/", kv("/kv/"))
+	alias("/flush", "/v1/flush", control("flush", tr.flush, st.Flush))
+	alias("/checkpoint", "/v1/checkpoint", control("checkpoint", tr.checkpoint, st.Checkpoint))
+	alias("/recover", "/v1/recover", control("recover", tr.recover, st.Recover))
+	alias("/chaos", "/v1/chaos", chaos)
+	alias("/store/stats", "/v1/store/stats", stats)
+}
+
+// kvError routes a data-path error: a NotOwnedError answers 421 with
+// the ownership hint (so routers repair their ring), everything else
+// takes the standard status mapping.
+func (n *Node) kvError(w http.ResponseWriter, r *http.Request, err error) {
+	var notOwned *store.NotOwnedError
+	if errors.As(err, &notOwned) {
+		n.write421(w, r, notOwned.Partition)
+		return
+	}
+	httpError(w, statusFor(err), err)
+}
+
+// write421 answers 421 Misdirected Request for a partition this node
+// does not host: the OwnershipHint body names the owner the cached
+// ring knows, the X-Amnt-Owner header carries its id, and Location
+// points at the same path on the owning node.
+func (n *Node) write421(w http.ResponseWriter, r *http.Request, part int) {
+	h := n.hintFor(part)
+	if h.Owner != "" {
+		w.Header().Set("X-Amnt-Owner", h.Owner)
+		if h.OwnerAddr != "" && r != nil {
+			w.Header().Set("Location", h.OwnerAddr+r.URL.RequestURI())
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusMisdirectedRequest)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(h)
+}
+
+// batchPut is one write in a /v1/batch request body.
+type batchPut struct {
+	Key      uint64 `json:"key"`
+	ValueB64 string `json:"value_b64"`
+}
+
+// batchRequest is the /v1/batch body: puts apply before gets, so a
+// batch can read back its own writes.
+type batchRequest struct {
+	Puts []batchPut `json:"puts,omitempty"`
+	Gets []uint64   `json:"gets,omitempty"`
+}
+
+// batchResult is one per-key outcome in a /v1/batch response.
+type batchResult struct {
+	Key      uint64 `json:"key"`
+	ValueB64 string `json:"value_b64,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// batchHandler serves POST /v1/batch: the whole batch travels as one
+// multi-op request per shard and the writes commit as group-commit
+// epochs. Per-key failures are reported in place; the HTTP status
+// stays 200 unless the request itself is malformed.
+func (n *Node) batchHandler() http.HandlerFunc {
+	st, tr := n.st, n.tr
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+			return
+		}
+		var req batchRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad batch body: %w", err))
+			return
+		}
+		sp, t0 := tr.begin(tr.batch, w, r)
+		ctx, cancel := context.WithTimeout(span.NewContext(r.Context(), sp), n.reqTimeout)
+		defer cancel()
+
+		putRes := make([]batchResult, len(req.Puts))
+		kvs := make([]store.KV, 0, len(req.Puts))
+		kvIdx := make([]int, 0, len(req.Puts))
+		for i, p := range req.Puts {
+			putRes[i].Key = p.Key
+			v, err := base64.StdEncoding.DecodeString(p.ValueB64)
+			if err != nil {
+				putRes[i].Error = "bad value_b64: " + err.Error()
+				continue
+			}
+			kvs = append(kvs, store.KV{Key: p.Key, Value: v})
+			kvIdx = append(kvIdx, i)
+		}
+		var firstErr error
+		for j, err := range st.PutBatch(ctx, kvs) {
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				putRes[kvIdx[j]].Error = err.Error()
+			}
+		}
+
+		getRes := make([]batchResult, len(req.Gets))
+		values, errs := st.GetBatch(ctx, req.Gets)
+		for i, key := range req.Gets {
+			getRes[i].Key = key
+			if errs[i] != nil {
+				if firstErr == nil {
+					firstErr = redErr(errs[i])
+				}
+				getRes[i].Error = errs[i].Error()
+				continue
+			}
+			getRes[i].ValueB64 = base64.StdEncoding.EncodeToString(values[i])
+		}
+		tr.batch.Done(sp, t0, firstErr)
+		resp := map[string]any{"puts": putRes, "gets": getRes}
+		if sp != nil {
+			resp["timing"] = sp.Timing()
+		}
+		writeJSON(w, resp)
+	}
+}
+
+// ShardHealthState is one shard's entry in the /v1/health report:
+// its state-machine position joined with the heal counters and the
+// rebuild watermark.
+type ShardHealthState struct {
+	Shard          int    `json:"shard"`
+	Health         string `json:"health"`
+	Serving        bool   `json:"serving"`
+	Fenced         bool   `json:"fenced,omitempty"`
+	Failures       uint64 `json:"failures"`
+	HealAttempts   uint64 `json:"heal_attempts"`
+	Heals          uint64 `json:"heals"`
+	Recoveries     uint64 `json:"recoveries"`
+	RecoveringNack uint64 `json:"recovering_nacks"`
+	DegradedWrites uint64 `json:"degraded_writes"`
+	LeavesDone     uint64 `json:"recovery_leaves_done"`
+	LeavesTotal    uint64 `json:"recovery_leaves_total"`
+}
+
+// NodeIdentity is the machine-readable identity block /v1/health
+// carries in cluster mode: who this node is, how to reach it, and
+// which partitions it currently hosts at which ring epoch.
+type NodeIdentity struct {
+	ID         string `json:"id"`
+	Advertise  string `json:"advertise,omitempty"`
+	Partitions int    `json:"partitions"`
+	Owned      []int  `json:"owned"`
+	Staging    []int  `json:"staging,omitempty"`
+	RingEpoch  uint64 `json:"ring_epoch,omitempty"`
+}
+
+// HealthReport is the /v1/health body. Status is "ok", "recovering"
+// (a rebuild is in flight but every shard still serves), or
+// "degraded" (at least one shard is quarantined; the response is
+// 503 so load balancers can drain the instance). Node is present in
+// cluster mode.
+type HealthReport struct {
+	Status string             `json:"status"`
+	Node   *NodeIdentity      `json:"node,omitempty"`
+	Shards []ShardHealthState `json:"shards"`
+}
+
+func (n *Node) healthHandler(w http.ResponseWriter, _ *http.Request) {
+	snap := n.st.Stats()
+	out := HealthReport{Status: "ok"}
+	code := http.StatusOK
+	for _, sh := range snap.Shards {
+		out.Shards = append(out.Shards, ShardHealthState{
+			Shard:          sh.Shard,
+			Health:         sh.Health,
+			Serving:        sh.Serving,
+			Fenced:         sh.Fenced,
+			Failures:       sh.Failures,
+			HealAttempts:   sh.HealAttempts,
+			Heals:          sh.Heals,
+			Recoveries:     sh.Recoveries,
+			RecoveringNack: sh.RecoveringNack,
+			DegradedWrites: sh.DegradedWrites,
+			LeavesDone:     sh.RecoveryDone,
+			LeavesTotal:    sh.RecoveryTotal,
+		})
+		switch sh.Health {
+		case "quarantined":
+			out.Status = "degraded"
+			code = http.StatusServiceUnavailable
+		case "recovering":
+			if out.Status == "ok" {
+				out.Status = "recovering"
+			}
+		}
+	}
+	if n.id != "" {
+		ident := &NodeIdentity{
+			ID:         n.id,
+			Advertise:  n.advertise,
+			Partitions: n.st.Partitions(),
+			Owned:      n.st.Owned(),
+			Staging:    n.st.Staging(),
+		}
+		if s := n.ring.Load(); s != nil {
+			ident.RingEpoch = s.Epoch
+		}
+		out.Node = ident
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+// degradation classifies the retryable serving failures: which
+// shard-level condition caused the 503 and how long a well-behaved
+// client should wait before retrying. Recovering shards clear
+// fastest (one rebuild chunk), overload clears as soon as the queue
+// drains, a write fence clears when the migration's final delta
+// lands (low milliseconds), and a failed shard needs at least one
+// heal-loop pass.
+func degradation(err error) (reason string, retryAfter time.Duration, ok bool) {
+	switch {
+	case errors.Is(err, store.ErrShardFailed):
+		return "failed", 500 * time.Millisecond, true
+	case errors.Is(err, store.ErrRecovering):
+		return "recovering", 100 * time.Millisecond, true
+	case errors.Is(err, store.ErrFenced):
+		return "fenced", 50 * time.Millisecond, true
+	case errors.Is(err, store.ErrOverloaded):
+		return "overloaded", 25 * time.Millisecond, true
+	}
+	return "", 0, false
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, store.ErrNotOwned):
+		return http.StatusMisdirectedRequest
+	case errors.Is(err, store.ErrOverloaded),
+		errors.Is(err, store.ErrRecovering),
+		errors.Is(err, store.ErrShardFailed),
+		errors.Is(err, store.ErrFenced),
+		errors.Is(err, store.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, store.ErrValueTooLarge), errors.Is(err, store.ErrOutOfRange):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// httpError writes the JSON error body. Retryable degradations
+// (overload, online recovery, quarantine, migration fence) are
+// forced to 503 and carry both a Retry-After header (whole seconds,
+// the HTTP contract) and a finer-grained retry_after_ms field in the
+// body.
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	body := map[string]any{"error": err.Error()}
+	if reason, wait, ok := degradation(err); ok {
+		code = http.StatusServiceUnavailable
+		secs := int((wait + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		body["reason"] = reason
+		body["retry_after_ms"] = wait.Milliseconds()
+	}
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}

@@ -1,4 +1,4 @@
-package main
+package node
 
 import (
 	"bytes"
@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"amnt/internal/cluster"
 	_ "amnt/internal/core"
 	"amnt/internal/store"
 	"amnt/internal/telemetry/span"
@@ -32,13 +33,19 @@ func testServer(t *testing.T) (*httptest.Server, *store.Store) {
 
 func testServerCfg(t *testing.T, cfg store.Config) (*httptest.Server, *store.Store) {
 	t.Helper()
+	srv, _, st := testNode(t, cfg, Options{})
+	return srv, st
+}
+
+func testNode(t *testing.T, cfg store.Config, opts Options) (*httptest.Server, *Node, *store.Store) {
+	t.Helper()
 	st, err := store.Open(cfg)
 	if err != nil {
 		t.Fatalf("open store: %v", err)
 	}
 	mux := http.NewServeMux()
-	tr := newTracer(span.New(span.Config{SampleEvery: 1, Shards: 2}))
-	mount(mux, st, 2*time.Second, tr)
+	n := New(st, span.New(span.Config{SampleEvery: 1, Shards: cfg.Shards}), opts)
+	n.Mount(mux)
 	srv := httptest.NewServer(mux)
 	t.Cleanup(func() {
 		srv.Close()
@@ -46,7 +53,7 @@ func testServerCfg(t *testing.T, cfg store.Config) (*httptest.Server, *store.Sto
 			t.Errorf("close store: %v", err)
 		}
 	})
-	return srv, st
+	return srv, n, st
 }
 
 // TestServerV1KV round-trips a value through the canonical versioned
@@ -420,7 +427,7 @@ func TestServerDegraded503Payload(t *testing.T) {
 		t.Fatalf("health: %v", err)
 	}
 	defer resp.Body.Close()
-	var rep healthReport
+	var rep HealthReport
 	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
 		t.Fatalf("decode health: %v", err)
 	}
@@ -471,7 +478,7 @@ func TestServerQuarantineHealsLive(t *testing.T) {
 	}
 
 	deadline := time.Now().Add(10 * time.Second)
-	var rep healthReport
+	var rep HealthReport
 	for {
 		resp, err := http.Get(srv.URL + "/v1/health")
 		if err != nil {
@@ -511,5 +518,319 @@ func TestServerQuarantineHealsLive(t *testing.T) {
 	}
 	if v, _ := base64.StdEncoding.DecodeString(out.ValueB64); string(v) != "survives" {
 		t.Fatalf("post-heal value %q, want survives", v)
+	}
+}
+
+// clusterPair boots two single-node stores hosting disjoint halves
+// of a 4-partition space, with the ring state installed on both.
+func clusterPair(t *testing.T) (srvA, srvB *httptest.Server, ring *cluster.State) {
+	t.Helper()
+	members := []cluster.Member{{ID: "a", Addr: "http://a.invalid"}, {ID: "b", Addr: "http://b.invalid"}}
+	ring = cluster.InitialState(4, 0, members)
+	mk := func(id string) *httptest.Server {
+		owned := cluster.OwnedBy(ring, id)
+		if owned == nil {
+			owned = []int{}
+		}
+		srv, _, _ := testNode(t, store.Config{
+			Shards:        len(owned),
+			Partitions:    4,
+			Owned:         owned,
+			ShardMemBytes: 256 << 10,
+			Protocol:      "leaf",
+			QueueDepth:    64,
+			BatchMax:      8,
+		}, Options{NodeID: id, Advertise: "http://" + id + ".invalid", Ring: ring})
+		return srv
+	}
+	return mk("a"), mk("b"), ring
+}
+
+// TestServer421OwnershipHint pins the not-my-shard contract: a key
+// whose partition lives elsewhere answers 421 Misdirected Request
+// with the owner in the body, the X-Amnt-Owner header, and a
+// Location pointing at the same path on the owning node.
+func TestServer421OwnershipHint(t *testing.T) {
+	srvA, _, ring := clusterPair(t)
+
+	// Find a partition owned by b and probe it on a.
+	bParts := cluster.OwnedBy(ring, "b")
+	if len(bParts) == 0 {
+		t.Skip("ring gave node b nothing at 4 partitions") // deterministic; will not happen
+	}
+	key := uint64(bParts[0])
+	resp, err := http.Get(fmt.Sprintf("%s/v1/kv/%d", srvA.URL, key))
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("misrouted get answered %d, want 421", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Amnt-Owner"); got != "b" {
+		t.Fatalf("X-Amnt-Owner = %q, want b", got)
+	}
+	wantLoc := fmt.Sprintf("http://b.invalid/v1/kv/%d", key)
+	if got := resp.Header.Get("Location"); got != wantLoc {
+		t.Fatalf("Location = %q, want %q", got, wantLoc)
+	}
+	var hint cluster.OwnershipHint
+	if err := json.NewDecoder(resp.Body).Decode(&hint); err != nil {
+		t.Fatalf("decode hint: %v", err)
+	}
+	if hint.Partition != bParts[0] || hint.Owner != "b" || hint.OwnerAddr != "http://b.invalid" {
+		t.Fatalf("hint %+v, want partition %d owned by b", hint, bParts[0])
+	}
+	if hint.RingEpoch != ring.Epoch {
+		t.Fatalf("hint epoch %d, want %d", hint.RingEpoch, ring.Epoch)
+	}
+}
+
+// TestServerHealthIdentity pins the cluster identity block on
+// /v1/health: node id, advertise URL, owned partitions, ring epoch.
+func TestServerHealthIdentity(t *testing.T) {
+	srvA, _, ring := clusterPair(t)
+	resp, err := http.Get(srvA.URL + "/v1/health")
+	if err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	defer resp.Body.Close()
+	var rep HealthReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if rep.Node == nil {
+		t.Fatal("cluster-mode health has no node identity block")
+	}
+	if rep.Node.ID != "a" || rep.Node.Advertise != "http://a.invalid" {
+		t.Fatalf("identity %+v", rep.Node)
+	}
+	if rep.Node.Partitions != 4 || rep.Node.RingEpoch != ring.Epoch {
+		t.Fatalf("identity %+v, want 4 partitions at epoch %d", rep.Node, ring.Epoch)
+	}
+	want := cluster.OwnedBy(ring, "a")
+	if len(rep.Node.Owned) != len(want) {
+		t.Fatalf("owned %v, want %v", rep.Node.Owned, want)
+	}
+}
+
+// TestServerRingExchange pins GET/POST /v1/ring: the cached state is
+// served, a newer one installs, an older one is refused.
+func TestServerRingExchange(t *testing.T) {
+	srvA, _, ring := clusterPair(t)
+
+	resp, err := http.Get(srvA.URL + "/v1/ring")
+	if err != nil {
+		t.Fatalf("get ring: %v", err)
+	}
+	var got cluster.State
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if err != nil || got.Epoch != ring.Epoch || len(got.Assign) != 4 {
+		t.Fatalf("ring = %+v, %v", got, err)
+	}
+
+	newer := ring.Clone()
+	newer.Epoch++
+	body, _ := json.Marshal(newer)
+	resp, err = http.Post(srvA.URL+"/v1/ring", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("post ring: %v", err)
+	}
+	var ack struct {
+		Installed bool   `json:"installed"`
+		Epoch     uint64 `json:"epoch"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ack)
+	resp.Body.Close()
+	if err != nil || !ack.Installed || ack.Epoch != newer.Epoch {
+		t.Fatalf("install ack %+v, %v", ack, err)
+	}
+
+	stale, _ := json.Marshal(ring)
+	resp, err = http.Post(srvA.URL+"/v1/ring", "application/json", bytes.NewReader(stale))
+	if err != nil {
+		t.Fatalf("post stale ring: %v", err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ack)
+	resp.Body.Close()
+	if err != nil || ack.Installed || ack.Epoch != newer.Epoch {
+		t.Fatalf("stale install ack %+v, %v", ack, err)
+	}
+}
+
+// TestMigrationOverHTTP drives a full live hand-off through the
+// /v1/migrate surface with the cluster.Migrator, under writes landing
+// between the copy and the fence, and proves zero acknowledged
+// writes are lost and the fence maps to a retryable 503.
+func TestMigrationOverHTTP(t *testing.T) {
+	srvA, srvB, ring := clusterPair(t)
+	aParts := cluster.OwnedBy(ring, "a")
+	if len(aParts) == 0 {
+		t.Fatal("node a owns nothing")
+	}
+	part := aParts[0]
+	key := func(i int) uint64 { return uint64(part + 4*i) }
+	put := func(srv *httptest.Server, k uint64, v string) int {
+		req, _ := http.NewRequest(http.MethodPut, fmt.Sprintf("%s/v1/kv/%d", srv.URL, k), strings.NewReader(v))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for i := 0; i < 30; i++ {
+		if code := put(srvA, key(i), fmt.Sprintf("v%d", i)); code != http.StatusOK {
+			t.Fatalf("seed put %d: status %d", i, code)
+		}
+	}
+
+	flipped := false
+	m := &cluster.Migrator{
+		DeltaBatch: 8,
+		Flip: func(_ context.Context, p int, to string) error {
+			if p != part || to != "b" {
+				return fmt.Errorf("flip %d to %s", p, to)
+			}
+			flipped = true
+			return nil
+		},
+	}
+	rep, err := m.Run(context.Background(), part, srvA.URL, "a", srvB.URL, "b")
+	if err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	if !flipped || rep.ImageBytes == 0 {
+		t.Fatalf("report %+v (flipped=%v)", rep, flipped)
+	}
+
+	// Source refuses the partition now (421), destination serves it.
+	resp, err := http.Get(fmt.Sprintf("%s/v1/kv/%d", srvA.URL, key(0)))
+	if err != nil {
+		t.Fatalf("src get: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("detached source answered %d, want 421", resp.StatusCode)
+	}
+	for i := 0; i < 30; i++ {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/kv/%d", srvB.URL, key(i)))
+		if err != nil {
+			t.Fatalf("dst get %d: %v", i, err)
+		}
+		var out struct {
+			ValueB64 string `json:"value_b64"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("dst get %d: %d, %v", i, resp.StatusCode, err)
+		}
+		if v, _ := base64.StdEncoding.DecodeString(out.ValueB64); string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("dst get %d = %q", i, v)
+		}
+	}
+	if code := put(srvB, key(30), "post-migration"); code != http.StatusOK {
+		t.Fatalf("post-migration put: status %d", code)
+	}
+}
+
+// TestFenced503OverHTTP pins the fence degradation contract end to
+// end: a fenced partition nacks writes with 503 reason "fenced" and
+// a retry hint, keeps serving reads, and resumes after abort.
+func TestFenced503OverHTTP(t *testing.T) {
+	srvA, _, ring := clusterPair(t)
+	part := cluster.OwnedBy(ring, "a")[0]
+	k := uint64(part)
+
+	req, _ := http.NewRequest(http.MethodPut, fmt.Sprintf("%s/v1/kv/%d", srvA.URL, k), strings.NewReader("v"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	for _, step := range []string{"begin", "fence"} {
+		resp, err := http.Post(fmt.Sprintf("%s/v1/migrate/%s?part=%d", srvA.URL, step, part), "", nil)
+		if err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", step, resp.StatusCode)
+		}
+	}
+
+	req, _ = http.NewRequest(http.MethodPut, fmt.Sprintf("%s/v1/kv/%d", srvA.URL, k), strings.NewReader("x"))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("fenced put: %v", err)
+	}
+	var body struct {
+		Reason       string `json:"reason"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decode fenced body: %v", err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || body.Reason != "fenced" || body.RetryAfterMS <= 0 {
+		t.Fatalf("fenced put = %d %+v, want 503 fenced with retry hint", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("fenced 503 missing Retry-After")
+	}
+
+	// Reads keep serving through the fence.
+	resp, err = http.Get(fmt.Sprintf("%s/v1/kv/%d", srvA.URL, k))
+	if err != nil {
+		t.Fatalf("fenced get: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fenced get status %d, want 200", resp.StatusCode)
+	}
+
+	// Health shows the fence; abort lifts it.
+	resp, err = http.Get(srvA.URL + "/v1/health")
+	if err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	var rep HealthReport
+	err = json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decode health: %v", err)
+	}
+	fenced := false
+	for _, sh := range rep.Shards {
+		fenced = fenced || sh.Fenced
+	}
+	if !fenced {
+		t.Fatalf("health shows no fenced shard: %+v", rep.Shards)
+	}
+
+	resp, err = http.Post(fmt.Sprintf("%s/v1/migrate/abort?part=%d", srvA.URL, part), "", nil)
+	if err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	req, _ = http.NewRequest(http.MethodPut, fmt.Sprintf("%s/v1/kv/%d", srvA.URL, k), strings.NewReader("resumed"))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("post-abort put: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-abort put status %d", resp.StatusCode)
 	}
 }

@@ -57,7 +57,11 @@ func (s *Store) PutBatch(ctx context.Context, kvs []KV) []error {
 			errs[i] = ErrValueTooLarge
 			continue
 		}
-		sh, block := s.shardFor(kv.Key)
+		sh, block, err := s.shardFor(kv.Key)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
 		if block >= sh.blocks {
 			errs[i] = ErrOutOfRange
 			continue
@@ -113,7 +117,11 @@ func (s *Store) GetBatch(ctx context.Context, keys []uint64) ([][]byte, []error)
 	group := make(map[*shard]*shardGet)
 	var order []*shard
 	for i, key := range keys {
-		sh, block := s.shardFor(key)
+		sh, block, err := s.shardFor(key)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
 		if block >= sh.blocks {
 			errs[i] = ErrOutOfRange
 			continue

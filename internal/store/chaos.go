@@ -2,7 +2,6 @@ package store
 
 import (
 	"context"
-	"fmt"
 	"math/rand"
 	"time"
 
@@ -60,14 +59,15 @@ type ChaosResult struct {
 // media damage and re-running recovery; violations mark the shard
 // failed.
 func (s *Store) Chaos(ctx context.Context, spec ChaosSpec) (*ChaosResult, error) {
-	if spec.Shard < 0 || spec.Shard >= len(s.shards) {
-		return nil, fmt.Errorf("store: no shard %d", spec.Shard)
+	sh, err := s.lookup(spec.Shard)
+	if err != nil {
+		return nil, err
 	}
 	if _, err := faults.ParseKind(spec.Kind); err != nil {
 		return nil, err
 	}
 	sp := spec
-	resp, err := s.submit(ctx, s.shards[spec.Shard], request{op: opChaos, chaos: &sp, resp: make(chan response, 1)})
+	resp, err := s.submit(ctx, sh, request{op: opChaos, chaos: &sp, resp: make(chan response, 1)})
 	if err != nil {
 		return nil, err
 	}

@@ -190,7 +190,7 @@ func TestStoreExpiredContextNack(t *testing.T) {
 	var dead []chan response
 	var live chan response
 	for i := 0; i < 8; i++ {
-		sh, block := s.shardFor(uint64(i))
+		sh, block, _ := s.shardFor(uint64(i))
 		req := request{op: opPut, ctx: expired, block: block, value: stamp(uint64(i)), resp: make(chan response, 1)}
 		if i == 3 {
 			req.ctx = context.Background()
@@ -277,7 +277,7 @@ func TestStoreEpochMetrics(t *testing.T) {
 	if fallbacks != 0 {
 		t.Fatalf("unexpected degraded commits: %d", fallbacks)
 	}
-	for _, sh := range s.shards {
+	for _, sh := range s.table().list {
 		if h := sh.epochSizeHistogram(); snap.Shards[sh.id].Epochs > 0 && h.Total() == 0 {
 			t.Fatalf("shard %d committed epochs but recorded no size samples", sh.id)
 		}

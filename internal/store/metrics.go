@@ -34,6 +34,10 @@ type shardMetrics struct {
 	// and commits that degraded to per-op replay.
 	epochs, epochOps, epochFallbacks atomic.Uint64
 
+	// Migration accounting: outbound migrations begun on this shard,
+	// and writes nacked during a hand-off fence.
+	migrations, fencedNacks atomic.Uint64
+
 	// Controller snapshot, published by the worker.
 	cycles, dataReads, dataWrites, metaFetches atomic.Uint64
 	postedWrites, stallCycles, mergedWrites    atomic.Uint64
@@ -53,7 +57,8 @@ func (sh *shard) publish() {
 	m.mergedWrites.Store(sh.ctrl.MergedWrites())
 }
 
-// ShardSnapshot is one shard's published counters.
+// ShardSnapshot is one shard's published counters. Shard is the
+// global partition id the shard hosts.
 type ShardSnapshot struct {
 	Shard int `json:"shard"`
 	// Health is the serving state: "serving", "recovering" (tree
@@ -62,7 +67,10 @@ type ShardSnapshot struct {
 	Health string `json:"health"`
 	// Serving is whether the shard currently accepts requests — true
 	// for both "serving" and degraded "recovering" shards.
-	Serving        bool    `json:"serving"`
+	Serving bool `json:"serving"`
+	// Fenced is whether the shard is write-fenced for a migration
+	// hand-off (reads still serve).
+	Fenced         bool    `json:"fenced,omitempty"`
 	QueueLen       int     `json:"queue_len"`
 	Gets           uint64  `json:"gets"`
 	Puts           uint64  `json:"puts"`
@@ -84,6 +92,8 @@ type ShardSnapshot struct {
 	Epochs         uint64  `json:"epochs"`
 	EpochOps       uint64  `json:"epoch_ops"`
 	EpochFallback  uint64  `json:"epoch_fallbacks"`
+	Migrations     uint64  `json:"migrations,omitempty"`
+	FencedNacks    uint64  `json:"fenced_nacks,omitempty"`
 	ChaosRuns      uint64  `json:"chaos_runs"`
 	RecoveryDone   uint64  `json:"recovery_leaves_done"`
 	RecoveryTotal  uint64  `json:"recovery_leaves_total"`
@@ -99,22 +109,37 @@ type ShardSnapshot struct {
 
 // Snapshot is the whole store's published state.
 type Snapshot struct {
-	Shards    []ShardSnapshot `json:"shards"`
-	Ops       uint64          `json:"ops"`
-	Overloads uint64          `json:"overloads"`
+	// Partitions is the global partition count; Shards holds only the
+	// partitions this store hosts (cluster mode), keyed by id.
+	Partitions int             `json:"partitions"`
+	Shards     []ShardSnapshot `json:"shards"`
+	// Staging lists partitions with an inbound migration attached but
+	// not yet activated.
+	Staging   []int  `json:"staging,omitempty"`
+	Ops       uint64 `json:"ops"`
+	Overloads uint64 `json:"overloads"`
 }
 
 // Stats returns the current published counters for every shard plus
 // aggregates. Safe to call from any goroutine.
 func (s *Store) Stats() Snapshot {
-	out := Snapshot{Shards: make([]ShardSnapshot, len(s.shards)), Overloads: s.overloads.Load()}
-	for i, sh := range s.shards {
+	shards := s.table().list
+	out := Snapshot{
+		Partitions: s.cfg.Partitions,
+		Shards:     make([]ShardSnapshot, len(shards)),
+		Overloads:  s.overloads.Load(),
+	}
+	if st := s.Staging(); len(st) > 0 {
+		out.Staging = st
+	}
+	for i, sh := range shards {
 		m := &sh.m
 		health := shardHealth(sh.health.Load())
 		ss := ShardSnapshot{
-			Shard:          i,
+			Shard:          sh.id,
 			Health:         health.String(),
 			Serving:        health != healthQuarantined,
+			Fenced:         sh.fenced.Load(),
 			QueueLen:       len(sh.ch),
 			Gets:           m.gets.Load(),
 			Puts:           m.puts.Load(),
@@ -136,6 +161,8 @@ func (s *Store) Stats() Snapshot {
 			Epochs:         m.epochs.Load(),
 			EpochOps:       m.epochOps.Load(),
 			EpochFallback:  m.epochFallbacks.Load(),
+			Migrations:     m.migrations.Load(),
+			FencedNacks:    m.fencedNacks.Load(),
 			ChaosRuns:      m.chaosRuns.Load(),
 			Cycles:         m.cycles.Load(),
 			DataReads:      m.dataReads.Load(),
@@ -156,10 +183,10 @@ func (s *Store) Stats() Snapshot {
 	return out
 }
 
-// sum folds one atomic counter across shards.
+// sum folds one atomic counter across currently hosted shards.
 func (s *Store) sum(pick func(*shardMetrics) *atomic.Uint64) uint64 {
 	var t uint64
-	for _, sh := range s.shards {
+	for _, sh := range s.table().list {
 		t += pick(&sh.m).Load()
 	}
 	return t
@@ -167,11 +194,14 @@ func (s *Store) sum(pick func(*shardMetrics) *atomic.Uint64) uint64 {
 
 // RegisterMetrics adds per-shard and aggregate store columns to reg.
 // Every column reads only published atomics or channel lengths, so
-// sampling never races the shard workers.
+// sampling never races the shard workers. Per-shard columns are
+// minted for the partitions hosted at registration time; partitions
+// that attach later feed the aggregate columns (which read the live
+// table) but get no dedicated columns until the next restart.
 func (s *Store) RegisterMetrics(reg *telemetry.Registry) {
-	for i, sh := range s.shards {
+	for _, sh := range s.table().list {
 		sh := sh
-		p := fmt.Sprintf("store.shard%d", i)
+		p := fmt.Sprintf("store.shard%d", sh.id)
 		reg.Counter(p+".gets", "get requests served", sh.m.gets.Load)
 		reg.Counter(p+".puts", "put requests served", sh.m.puts.Load)
 		reg.Counter(p+".misses", "gets of never-written keys", sh.m.misses.Load)
@@ -251,21 +281,21 @@ func (s *Store) RegisterMetrics(reg *telemetry.Registry) {
 	})
 	reg.Gauge("store.recovery_leaves_done", "BMT leaves rebuilt by the latest recoveries, all shards", func() float64 {
 		var n uint64
-		for _, sh := range s.shards {
+		for _, sh := range s.table().list {
 			n += sh.prog.Snapshot().Done
 		}
 		return float64(n)
 	})
 	reg.Gauge("store.recovery_leaves_total", "BMT leaves the latest recoveries must rebuild, all shards", func() float64 {
 		var n uint64
-		for _, sh := range s.shards {
+		for _, sh := range s.table().list {
 			n += sh.prog.Snapshot().Total
 		}
 		return float64(n)
 	})
 	reg.Gauge("store.recoveries_active", "shards with a recovery rebuild in flight", func() float64 {
 		var n float64
-		for _, sh := range s.shards {
+		for _, sh := range s.table().list {
 			if sh.prog.Snapshot().Active {
 				n++
 			}
@@ -274,7 +304,7 @@ func (s *Store) RegisterMetrics(reg *telemetry.Registry) {
 	})
 	reg.Gauge("store.shards_serving", "shards currently in service", func() float64 {
 		var n float64
-		for _, sh := range s.shards {
+		for _, sh := range s.table().list {
 			if shardHealth(sh.health.Load()) != healthQuarantined {
 				n++
 			}
@@ -283,7 +313,7 @@ func (s *Store) RegisterMetrics(reg *telemetry.Registry) {
 	})
 	reg.Gauge("store.shards_recovering", "shards with a rebuild in flight", func() float64 {
 		var n float64
-		for _, sh := range s.shards {
+		for _, sh := range s.table().list {
 			if shardHealth(sh.health.Load()) == healthRecovering {
 				n++
 			}
@@ -292,7 +322,7 @@ func (s *Store) RegisterMetrics(reg *telemetry.Registry) {
 	})
 	reg.Gauge("store.shards_quarantined", "shards waiting on the heal loop", func() float64 {
 		var n float64
-		for _, sh := range s.shards {
+		for _, sh := range s.table().list {
 			if shardHealth(sh.health.Load()) == healthQuarantined {
 				n++
 			}
@@ -333,7 +363,7 @@ func (sh *shard) epochCycleHistogram() *stats.Histogram {
 // simulated-time high-water mark, used as the sample cycle.
 func (s *Store) TotalCycles() uint64 {
 	var max uint64
-	for _, sh := range s.shards {
+	for _, sh := range s.table().list {
 		if c := sh.m.cycles.Load(); c > max {
 			max = c
 		}

@@ -147,7 +147,8 @@ func TestShardDegradedServingDeterministic(t *testing.T) {
 // recovery nacks ErrRecovering, and a degraded recovery admits.
 func TestStoreAdmissionByHealth(t *testing.T) {
 	sh := &shard{id: 0, ch: make(chan request, 4), done: make(chan struct{}), blocks: 1 << 10, batchMax: 1}
-	s := &Store{shards: []*shard{sh}}
+	s := &Store{cfg: Config{Partitions: 1}, staging: map[int]*shard{}}
+	s.tab.Store(newShardTable([]*shard{sh}))
 	ctx := context.Background()
 
 	sh.health.Store(int32(healthQuarantined))

@@ -7,11 +7,20 @@
 // is safe for any number of concurrent callers while the protocol
 // code underneath stays strictly sequential per shard.
 //
-// Keys are uint64, partitioned key % Shards (shard) and key / Shards
-// (block within the shard). One key maps to one 64 B SCM block; the
-// first byte encodes the value length, so values are limited to
-// MaxValueLen bytes and an all-zero (never-written) block reads as
-// ErrNotFound.
+// Keys are uint64, partitioned key % Partitions (shard) and
+// key / Partitions (block within the shard). One key maps to one 64 B
+// SCM block; the first byte encodes the value length, so values are
+// limited to MaxValueLen bytes and an all-zero (never-written) block
+// reads as ErrNotFound.
+//
+// Cluster mode: the partition space may be wider than the set of
+// shards one store hosts (Config.Owned). A key whose partition is not
+// hosted here fails with a NotOwnedError naming the partition, so the
+// serving layer can answer with an ownership hint instead of a
+// retryable 5xx. Partitions can be detached from one store and
+// attached to another at runtime through the migration API
+// (migrate.go): the shard table is copy-on-write behind an atomic
+// pointer, so routing reads never take a lock.
 //
 // Admission control: every request either enters its shard's bounded
 // queue immediately or fails with ErrOverloaded — the store never
@@ -31,12 +40,14 @@
 package store
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,7 +88,28 @@ var (
 	// is mid-recovery without online support, or when a request needs
 	// metadata that is genuinely not yet reconstructible. Retryable.
 	ErrRecovering = errors.New("store: shard recovering")
+	// ErrNotOwned: the key's partition is not hosted by this store.
+	// Routing-layer callers match NotOwnedError for the partition id.
+	ErrNotOwned = errors.New("store: partition not owned")
+	// ErrFenced: the partition is write-fenced for the final hand-off
+	// step of a live migration. Reads still serve; writes must retry
+	// (the fence lasts one delta-replay round, typically
+	// milliseconds) and land on the new owner.
+	ErrFenced = errors.New("store: partition write-fenced for migration")
 )
+
+// NotOwnedError reports a request routed to a store that does not
+// host the key's partition. It unwraps to ErrNotOwned.
+type NotOwnedError struct {
+	Partition int
+}
+
+func (e *NotOwnedError) Error() string {
+	return fmt.Sprintf("store: partition %d not owned", e.Partition)
+}
+
+// Is makes errors.Is(err, ErrNotOwned) true for NotOwnedError.
+func (e *NotOwnedError) Is(target error) bool { return target == ErrNotOwned }
 
 // shardHealth is the shard's serving state, published for lock-free
 // reads by submit and the metrics samplers.
@@ -110,7 +142,20 @@ func (h shardHealth) String() string {
 // Config sizes the store.
 type Config struct {
 	// Shards is the number of independent controllers. Default 4.
+	// When Partitions/Owned are unset this is also the partition
+	// count, preserving the single-node key layout.
 	Shards int
+	// Partitions is the global partition count keys are hashed over
+	// (key % Partitions). In cluster mode every node and every
+	// client must agree on it — it fixes the key→partition layout
+	// independent of which node hosts which partition. 0 defaults to
+	// Shards.
+	Partitions int
+	// Owned lists the partition ids this store hosts, each backed by
+	// its own controller. nil means all partitions (the single-node
+	// layout); an explicit empty slice opens a store with no shards,
+	// valid for a node that will receive partitions by migration.
+	Owned []int
 	// ShardMemBytes is each shard's SCM data capacity. Default 1 MiB.
 	ShardMemBytes uint64
 	// Protocol is the persistence policy name (mee registry).
@@ -142,7 +187,9 @@ type Config struct {
 	EpochWait time.Duration
 	// CheckpointDir, when set, is where Checkpoint persists shard
 	// images and where Open looks for them; Close writes a final
-	// checkpoint there.
+	// checkpoint there. Checkpoint files are keyed by partition id,
+	// so a cluster sharing one directory can hand partitions between
+	// nodes through it (Adopt).
 	CheckpointDir string
 	// RecoveryChunk is how many BMT leaves an online recovery rebuilds
 	// per idle worker wakeup. Smaller chunks bound the latency a
@@ -164,6 +211,15 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
 		c.Shards = 4
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = c.Shards
+	}
+	if c.Owned == nil {
+		c.Owned = make([]int, c.Partitions)
+		for i := range c.Owned {
+			c.Owned[i] = i
+		}
 	}
 	if c.ShardMemBytes == 0 {
 		c.ShardMemBytes = 1 << 20
@@ -207,6 +263,9 @@ const (
 	opRecover
 	opChaos
 	opQuarantine
+	opMigrateBegin
+	opMigrateFence
+	opMigrateAbort
 )
 
 // kvPair is one key's share of a multi-put, already resolved to its
@@ -225,6 +284,7 @@ type request struct {
 	blocks []uint64 // multi-get blocks
 	kvs    []kvPair // multi-put payload, owned by the request
 	chaos  *ChaosSpec
+	migBuf *bytes.Buffer // opMigrateBegin: checkpoint image sink
 	resp   chan response // buffered(1): the worker's send never blocks
 }
 
@@ -236,9 +296,10 @@ type response struct {
 	err    error
 }
 
-// shard bundles everything one worker goroutine owns.
+// shard bundles everything one worker goroutine owns. Its id is the
+// global partition id it hosts, not a dense local index.
 type shard struct {
-	id        int
+	id        int // partition id
 	dev       *scm.Device
 	ctrl      *mee.Controller
 	inj       *faults.Injector
@@ -259,6 +320,26 @@ type shard struct {
 	health   atomic.Int32 // shardHealth
 	degraded atomic.Bool  // recovering AND serving degraded traffic
 
+	// Migration state. stopped marks a shard detached from the table
+	// (set under the store write lock before its channel closes, so
+	// submit can never send to it). fenced nacks writes during the
+	// hand-off window; noFinalCkpt suppresses the shutdown checkpoint
+	// of a detached shard so it cannot clobber the new owner's image.
+	stopped     atomic.Bool
+	fenced      atomic.Bool
+	noFinalCkpt atomic.Bool
+
+	// Write-delta journal, live while an outbound migration copies
+	// this shard. The worker appends an entry at every put ack point
+	// under migMu; MigrateDelta drains from another goroutine.
+	// migActive mirrors migOn so the common no-migration put path
+	// pays one atomic load, not a mutex.
+	migActive   atomic.Bool
+	migMu       sync.Mutex
+	migOn       bool
+	migLog      []DeltaOp
+	migOverflow bool
+
 	// Online-recovery session, worker-owned: the rebuild advances
 	// recChunk leaves at a time whenever the queue is idle.
 	session  *mee.RecoverySession
@@ -278,71 +359,137 @@ type shard struct {
 	epochCycles *stats.Histogram // commit latency, 256-cycle buckets
 }
 
+// shardTable is the immutable partition→shard map. Mutations
+// (migration attach/detach) build a new table under the store write
+// lock and swap the pointer, so shardFor never locks.
+type shardTable struct {
+	parts map[int]*shard
+	list  []*shard // sorted by partition id, for stable iteration
+}
+
+func newShardTable(shards []*shard) *shardTable {
+	t := &shardTable{parts: make(map[int]*shard, len(shards))}
+	for _, sh := range shards {
+		t.parts[sh.id] = sh
+	}
+	t.list = append(t.list, shards...)
+	sort.Slice(t.list, func(i, j int) bool { return t.list[i].id < t.list[j].id })
+	return t
+}
+
+// with returns a copy of the table that also maps sh's partition.
+func (t *shardTable) with(sh *shard) *shardTable {
+	next := make([]*shard, 0, len(t.list)+1)
+	next = append(next, t.list...)
+	next = append(next, sh)
+	return newShardTable(next)
+}
+
+// without returns a copy of the table minus one partition.
+func (t *shardTable) without(part int) *shardTable {
+	next := make([]*shard, 0, len(t.list))
+	for _, sh := range t.list {
+		if sh.id != part {
+			next = append(next, sh)
+		}
+	}
+	return newShardTable(next)
+}
+
 // Store is the concurrent front-end. All methods are safe for
 // concurrent use.
 type Store struct {
-	cfg    Config
-	shards []*shard
+	cfg Config
+	tab atomic.Pointer[shardTable]
 
-	mu     sync.RWMutex // guards closed vs. in-flight enqueues
-	closed bool
+	mu      sync.RWMutex // guards closed + table mutations vs. in-flight enqueues
+	closed  bool
+	staging map[int]*shard // inbound migrations not yet serving
 
 	overloads atomic.Uint64
 }
 
+// table returns the current partition→shard map, lock-free.
+func (s *Store) table() *shardTable { return s.tab.Load() }
+
 // Open builds the store: one device + controller + injector per
-// shard. When cfg.CheckpointDir holds a checkpoint for a shard, the
-// shard boots from it (load, then run the protocol's recovery — the
-// reboot path); otherwise it starts empty. Workers take ownership of
-// their shard when their goroutine starts.
+// owned partition. When cfg.CheckpointDir holds a checkpoint for a
+// partition, the shard boots from it (load, then run the protocol's
+// recovery — the reboot path); otherwise it starts empty. Workers
+// take ownership of their shard when their goroutine starts.
 func Open(cfg Config) (*Store, error) {
 	cfg = cfg.withDefaults()
-	s := &Store{cfg: cfg, shards: make([]*shard, cfg.Shards)}
-	for i := range s.shards {
-		policy, err := mee.NewPolicy(cfg.Protocol, cfg.PolicyOptions)
+	seen := make(map[int]bool, len(cfg.Owned))
+	for _, p := range cfg.Owned {
+		if p < 0 || p >= cfg.Partitions {
+			return nil, fmt.Errorf("store: owned partition %d out of range [0,%d)", p, cfg.Partitions)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("store: partition %d owned twice", p)
+		}
+		seen[p] = true
+	}
+	s := &Store{cfg: cfg, staging: make(map[int]*shard)}
+	shards := make([]*shard, 0, len(cfg.Owned))
+	for _, p := range cfg.Owned {
+		sh, err := s.newShard(p)
 		if err != nil {
 			return nil, err
 		}
-		dev := scm.New(scm.Config{CapacityBytes: cfg.ShardMemBytes})
-		ctrl := mee.New(dev, cfg.MEE, policy)
-		sh := &shard{
-			id:             i,
-			dev:            dev,
-			ctrl:           ctrl,
-			ch:             make(chan request, cfg.QueueDepth),
-			done:           make(chan struct{}),
-			blocks:         cfg.ShardMemBytes / scm.BlockSize,
-			batchMax:       cfg.BatchMax,
-			epochMax:       cfg.EpochMax,
-			epochWait:      cfg.EpochWait,
-			epochSizes:     stats.NewHistogram(),
-			epochCycles:    stats.NewHistogram(),
-			prog:           &bmt.Progress{},
-			recChunk:       cfg.RecoveryChunk,
-			healBackoff:    cfg.HealBackoff,
-			healBackoffMax: cfg.HealBackoffMax,
-			healMax:        cfg.HealMaxAttempts,
-		}
-		ctrl.SetRecoveryProgress(sh.prog)
-		if cfg.CheckpointDir != "" {
-			sh.ckpt = filepath.Join(cfg.CheckpointDir, fmt.Sprintf("shard-%03d.ckpt", i))
+		if sh.ckpt != "" {
 			if err := sh.boot(); err != nil {
-				return nil, fmt.Errorf("store: shard %d: %w", i, err)
+				return nil, fmt.Errorf("store: shard %d: %w", p, err)
 			}
 		}
-		sh.inj = faults.NewInjector(ctrl)
 		// During a degraded boot the injector stays detached — recovery
 		// traffic is not journaled — and attaches when the rebuild
 		// completes, mirroring the power-cycle path.
 		if sh.session == nil {
 			sh.inj.Attach()
 		}
-		s.shards[i] = sh
+		shards = append(shards, sh)
 	}
-	for _, sh := range s.shards {
+	s.tab.Store(newShardTable(shards))
+	for _, sh := range shards {
 		go sh.run()
 	}
 	return s, nil
+}
+
+// newShard builds one partition's controller stack, not yet booted
+// and with the injector detached.
+func (s *Store) newShard(part int) (*shard, error) {
+	cfg := s.cfg
+	policy, err := mee.NewPolicy(cfg.Protocol, cfg.PolicyOptions)
+	if err != nil {
+		return nil, err
+	}
+	dev := scm.New(scm.Config{CapacityBytes: cfg.ShardMemBytes})
+	ctrl := mee.New(dev, cfg.MEE, policy)
+	sh := &shard{
+		id:             part,
+		dev:            dev,
+		ctrl:           ctrl,
+		ch:             make(chan request, cfg.QueueDepth),
+		done:           make(chan struct{}),
+		blocks:         cfg.ShardMemBytes / scm.BlockSize,
+		batchMax:       cfg.BatchMax,
+		epochMax:       cfg.EpochMax,
+		epochWait:      cfg.EpochWait,
+		epochSizes:     stats.NewHistogram(),
+		epochCycles:    stats.NewHistogram(),
+		prog:           &bmt.Progress{},
+		recChunk:       cfg.RecoveryChunk,
+		healBackoff:    cfg.HealBackoff,
+		healBackoffMax: cfg.HealBackoffMax,
+		healMax:        cfg.HealMaxAttempts,
+	}
+	ctrl.SetRecoveryProgress(sh.prog)
+	if cfg.CheckpointDir != "" {
+		sh.ckpt = filepath.Join(cfg.CheckpointDir, fmt.Sprintf("shard-%03d.ckpt", part))
+	}
+	sh.inj = faults.NewInjector(ctrl)
+	return sh, nil
 }
 
 // boot loads the shard's checkpoint if one exists and starts the
@@ -375,20 +522,50 @@ func (sh *shard) boot() error {
 	return nil
 }
 
-// Shards returns the shard count.
-func (s *Store) Shards() int { return len(s.shards) }
+// Shards returns the number of partitions this store currently hosts.
+func (s *Store) Shards() int { return len(s.table().list) }
 
-// shardFor maps a key to its shard and block.
-func (s *Store) shardFor(key uint64) (*shard, uint64) {
-	n := uint64(len(s.shards))
-	return s.shards[key%n], key / n
+// Partitions returns the global partition count keys are hashed over.
+func (s *Store) Partitions() int { return s.cfg.Partitions }
+
+// Owned returns the sorted partition ids this store currently hosts.
+func (s *Store) Owned() []int {
+	t := s.table()
+	out := make([]int, len(t.list))
+	for i, sh := range t.list {
+		out[i] = sh.id
+	}
+	return out
+}
+
+// shardFor maps a key to its hosted shard and block, or a
+// NotOwnedError naming the partition a different node hosts.
+func (s *Store) shardFor(key uint64) (*shard, uint64, error) {
+	p := int(key % uint64(s.cfg.Partitions))
+	sh := s.table().parts[p]
+	if sh == nil {
+		return nil, 0, &NotOwnedError{Partition: p}
+	}
+	return sh, key / uint64(s.cfg.Partitions), nil
+}
+
+// lookup resolves a partition id to its hosted shard.
+func (s *Store) lookup(id int) (*shard, error) {
+	if id < 0 || id >= s.cfg.Partitions {
+		return nil, fmt.Errorf("store: no shard %d", id)
+	}
+	sh := s.table().parts[id]
+	if sh == nil {
+		return nil, &NotOwnedError{Partition: id}
+	}
+	return sh, nil
 }
 
 // submit enqueues req on sh, failing fast with ErrOverloaded on a
 // full queue, then waits for the response or ctx. The closed check
-// and the send share the read lock so Close (which holds the write
-// lock while closing channels) can never race a send onto a closed
-// channel.
+// and the send share the read lock so Close and MigrateDetach (which
+// hold the write lock while closing channels) can never race a send
+// onto a closed channel.
 func (s *Store) submit(ctx context.Context, sh *shard, req request) (response, error) {
 	switch shardHealth(sh.health.Load()) {
 	case healthQuarantined:
@@ -402,6 +579,10 @@ func (s *Store) submit(ctx context.Context, sh *shard, req request) (response, e
 			return response{}, ErrRecovering
 		}
 	}
+	if sh.fenced.Load() && (req.op == opPut || req.op == opPutMulti) {
+		sh.m.fencedNacks.Add(1)
+		return response{}, ErrFenced
+	}
 	req.ctx = ctx
 	if req.sp == nil {
 		req.sp = span.FromContext(ctx)
@@ -411,6 +592,10 @@ func (s *Store) submit(ctx context.Context, sh *shard, req request) (response, e
 	if s.closed {
 		s.mu.RUnlock()
 		return response{}, ErrClosed
+	}
+	if sh.stopped.Load() {
+		s.mu.RUnlock()
+		return response{}, &NotOwnedError{Partition: sh.id}
 	}
 	select {
 	case sh.ch <- req:
@@ -433,7 +618,10 @@ func (s *Store) submit(ctx context.Context, sh *shard, req request) (response, e
 
 // Get returns the value stored at key.
 func (s *Store) Get(ctx context.Context, key uint64) ([]byte, error) {
-	sh, block := s.shardFor(key)
+	sh, block, err := s.shardFor(key)
+	if err != nil {
+		return nil, err
+	}
 	if block >= sh.blocks {
 		return nil, ErrOutOfRange
 	}
@@ -449,23 +637,27 @@ func (s *Store) Put(ctx context.Context, key uint64, value []byte) error {
 	if len(value) > MaxValueLen {
 		return ErrValueTooLarge
 	}
-	sh, block := s.shardFor(key)
+	sh, block, err := s.shardFor(key)
+	if err != nil {
+		return err
+	}
 	if block >= sh.blocks {
 		return ErrOutOfRange
 	}
 	v := make([]byte, len(value)) // callers may reuse their buffer
 	copy(v, value)
-	_, err := s.submit(ctx, sh, request{op: opPut, block: block, value: v, resp: make(chan response, 1)})
+	_, err = s.submit(ctx, sh, request{op: opPut, block: block, value: v, resp: make(chan response, 1)})
 	return err
 }
 
-// broadcast sends one control op to every shard concurrently and
-// waits for all responses (or ctx). The lowest-numbered failing
-// shard's error wins.
+// broadcast sends one control op to every hosted shard concurrently
+// and waits for all responses (or ctx). The lowest-numbered failing
+// partition's error wins.
 func (s *Store) broadcast(ctx context.Context, op opKind) error {
-	errs := make([]error, len(s.shards))
+	shards := s.table().list
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
-	for i, sh := range s.shards {
+	for i, sh := range shards {
 		wg.Add(1)
 		go func(i int, sh *shard) {
 			defer wg.Done()
@@ -475,7 +667,7 @@ func (s *Store) broadcast(ctx context.Context, op opKind) error {
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
+			return fmt.Errorf("shard %d: %w", shards[i].id, err)
 		}
 	}
 	return nil
@@ -503,10 +695,11 @@ func (s *Store) Recover(ctx context.Context) error { return s.broadcast(ctx, opR
 
 // RecoverShard power-cycles a single shard.
 func (s *Store) RecoverShard(ctx context.Context, id int) error {
-	if id < 0 || id >= len(s.shards) {
-		return fmt.Errorf("store: no shard %d", id)
+	sh, err := s.lookup(id)
+	if err != nil {
+		return err
 	}
-	_, err := s.submit(ctx, s.shards[id], request{op: opRecover, resp: make(chan response, 1)})
+	_, err = s.submit(ctx, sh, request{op: opRecover, resp: make(chan response, 1)})
 	return err
 }
 
@@ -515,10 +708,11 @@ func (s *Store) RecoverShard(ctx context.Context, id int) error {
 // path a real recovery violation takes. The shard nacks requests with
 // ErrShardFailed until the supervised heal loop restores it.
 func (s *Store) Quarantine(ctx context.Context, id int) error {
-	if id < 0 || id >= len(s.shards) {
-		return fmt.Errorf("store: no shard %d", id)
+	sh, err := s.lookup(id)
+	if err != nil {
+		return err
 	}
-	_, err := s.submit(ctx, s.shards[id], request{op: opQuarantine, resp: make(chan response, 1)})
+	_, err = s.submit(ctx, sh, request{op: opQuarantine, resp: make(chan response, 1)})
 	return err
 }
 
@@ -532,12 +726,14 @@ func (s *Store) Close(ctx context.Context) error {
 		return nil
 	}
 	s.closed = true
-	for _, sh := range s.shards {
+	shards := s.table().list
+	for _, sh := range shards {
 		close(sh.ch)
 	}
+	s.staging = nil // staged shards have no worker; just drop them
 	s.mu.Unlock()
 	var firstErr error
-	for _, sh := range s.shards {
+	for _, sh := range shards {
 		select {
 		case <-sh.done:
 			if sh.closeErr != nil && firstErr == nil {
@@ -602,11 +798,13 @@ func (sh *shard) run() {
 	}
 	// Shutdown: queue fully drained above. Complete any in-flight
 	// rebuild so the final flush and checkpoint see a whole, audited
-	// tree, then leave a durable image.
+	// tree, then leave a durable image. A detached (migrated-away)
+	// shard skips the checkpoint: the partition's image now belongs
+	// to its new owner.
 	sh.barrier()
 	if shardHealth(sh.health.Load()) != healthQuarantined {
 		sh.now += sh.ctrl.Flush(sh.now)
-		if sh.ckpt != "" {
+		if sh.ckpt != "" && !sh.noFinalCkpt.Load() {
 			sh.closeErr = sh.checkpoint()
 		}
 	}
@@ -692,6 +890,12 @@ type stagedAck struct {
 // before them); control operations (flush, checkpoint, recover,
 // chaos) force the open epoch to commit first so they observe and
 // persist exactly the acknowledged state.
+//
+// The write fence is checked here, at drain time: a put that was
+// queued before MigrateFence but drained after it must be nacked, not
+// acknowledged against the stale source — FIFO order through the
+// queue makes the fence a precise cut between journaled and refused
+// writes.
 func (sh *shard) serveBatch(batch []request) {
 	var ep *mee.Epoch
 	var acks []stagedAck
@@ -712,6 +916,11 @@ func (sh *shard) serveBatch(batch []request) {
 		}
 		switch r.op {
 		case opPut, opPutMulti:
+			if sh.fenced.Load() {
+				sh.m.fencedNacks.Add(1)
+				r.resp <- response{err: ErrFenced}
+				continue
+			}
 			// Degraded writes bypass group commit: multi-op epochs
 			// refuse to commit mid-rebuild (the climb would mix
 			// unaudited ancestors), while the per-op path defers its
@@ -731,8 +940,9 @@ func (sh *shard) serveBatch(batch []request) {
 			r.resp <- sh.serve(r)
 		default:
 			// Control operations (flush, checkpoint, power cycle,
-			// chaos, quarantine) observe whole-shard state: commit the
-			// open epoch and complete any in-flight rebuild first.
+			// chaos, quarantine, migration) observe whole-shard state:
+			// commit the open epoch and complete any in-flight rebuild
+			// first.
 			commit()
 			sh.barrier()
 			r.resp <- sh.serve(r)
@@ -804,6 +1014,7 @@ func (sh *shard) commitStaged(ep *mee.Epoch, acks []stagedAck) {
 			a.req.sp.Add(span.CommitClimb, res.ClimbNs)
 			a.req.sp.Add(span.Persist, res.PersistNs)
 			a.req.sp.Reset()
+			sh.journalAck(a)
 			sh.ackStaged(a)
 		}
 		return
@@ -819,6 +1030,9 @@ func (sh *shard) commitStaged(ep *mee.Epoch, acks []stagedAck) {
 				continue
 			}
 			err := sh.putBlock(a.req.block, a.req.value)
+			if err == nil {
+				sh.journalPut(a.req.block, a.req.value)
+			}
 			a.req.sp.Mark(span.EpochFallback)
 			a.req.resp <- response{err: err}
 		case opPutMulti:
@@ -827,9 +1041,31 @@ func (sh *shard) commitStaged(ep *mee.Epoch, acks []stagedAck) {
 					continue
 				}
 				a.errs[i] = sh.putBlock(kv.block, kv.value)
+				if a.errs[i] == nil {
+					sh.journalPut(kv.block, kv.value)
+				}
 			}
 			a.req.sp.Mark(span.EpochFallback)
 			a.req.resp <- response{errs: a.errs}
+		}
+	}
+}
+
+// journalAck records one committed staged request into the migration
+// delta journal (no-op when no migration is copying this shard).
+func (sh *shard) journalAck(a stagedAck) {
+	if !sh.migActive.Load() {
+		return
+	}
+	if a.req.op == opPut {
+		if a.errs == nil {
+			sh.journalPut(a.req.block, a.req.value)
+		}
+		return
+	}
+	for i, kv := range a.req.kvs {
+		if a.errs[i] == nil {
+			sh.journalPut(kv.block, kv.value)
 		}
 	}
 }
@@ -917,6 +1153,9 @@ func (sh *shard) serve(r request) response {
 		sh.m.puts.Add(1)
 		r.sp.Mark(span.EpochStage)
 		err := sh.putBlock(r.block, r.value)
+		if err == nil {
+			sh.journalPut(r.block, r.value)
+		}
 		r.sp.Mark(span.CommitClimb)
 		return response{err: err}
 	case opPutMulti:
@@ -925,6 +1164,9 @@ func (sh *shard) serve(r request) response {
 		r.sp.Mark(span.EpochStage)
 		for i, kv := range r.kvs {
 			errs[i] = sh.putBlock(kv.block, kv.value)
+			if errs[i] == nil {
+				sh.journalPut(kv.block, kv.value)
+			}
 		}
 		r.sp.Mark(span.CommitClimb)
 		return response{errs: errs}
@@ -946,6 +1188,33 @@ func (sh *shard) serve(r request) response {
 	case opQuarantine:
 		sh.inj.Detach()
 		sh.fail()
+		return response{}
+	case opMigrateBegin:
+		// The control-op barrier committed the open epoch and finished
+		// any rebuild, so the image is exactly the acknowledged state.
+		sh.now += sh.ctrl.Flush(sh.now)
+		if err := sh.ctrl.SaveCheckpoint(r.migBuf); err != nil {
+			return response{err: err}
+		}
+		sh.migMu.Lock()
+		sh.migOn = true
+		sh.migLog = nil
+		sh.migOverflow = false
+		sh.migMu.Unlock()
+		sh.migActive.Store(true)
+		sh.m.migrations.Add(1)
+		return response{}
+	case opMigrateFence:
+		sh.fenced.Store(true)
+		return response{}
+	case opMigrateAbort:
+		sh.fenced.Store(false)
+		sh.migActive.Store(false)
+		sh.migMu.Lock()
+		sh.migOn = false
+		sh.migLog = nil
+		sh.migOverflow = false
+		sh.migMu.Unlock()
 		return response{}
 	}
 	return response{err: fmt.Errorf("store: unknown op %d", r.op)}

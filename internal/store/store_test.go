@@ -166,7 +166,8 @@ func TestStoreBackpressure(t *testing.T) {
 	// Hand-built store whose worker never starts, so the queue state
 	// is fully deterministic.
 	sh := &shard{id: 0, ch: make(chan request, 1), done: make(chan struct{}), blocks: 1 << 10, batchMax: 1}
-	s := &Store{shards: []*shard{sh}}
+	s := &Store{cfg: Config{Partitions: 1}, staging: map[int]*shard{}}
+	s.tab.Store(newShardTable([]*shard{sh}))
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
@@ -474,7 +475,7 @@ func TestStoreCloseIdempotentAndDrains(t *testing.T) {
 	// must still be served (responses buffered) before workers exit.
 	resps := make([]chan response, 0, 32)
 	for i := 0; i < 32; i++ {
-		sh, block := s.shardFor(uint64(i))
+		sh, block, _ := s.shardFor(uint64(i))
 		req := request{op: opPut, block: block, value: stamp(uint64(i)), resp: make(chan response, 1)}
 		select {
 		case sh.ch <- req:

@@ -199,6 +199,7 @@ func (r *Recorder) finish(s *Span, err error) {
 				"commit_climb_us", t.CommitClimbUs,
 				"persist_us", t.PersistUs,
 				"epoch_fallback_us", t.EpochFallbackUs,
+				"forward_us", t.ForwardUs,
 				"ack_us", t.AckUs,
 				"error", s.failed.Load(),
 			)

@@ -53,6 +53,10 @@ const (
 	// EpochFallback: time spent replaying writes per-op after a failed
 	// epoch commit. Zero on every healthy request.
 	EpochFallback
+	// Forward: upstream round-trip time a routing hop (amntproxy)
+	// spent forwarding the request to the owning node. Zero on
+	// requests served directly by a store.
+	Forward
 	// Ack: commit completion until the handler observes the response.
 	Ack
 	// NumPhases bounds the phase enum.
@@ -60,7 +64,7 @@ const (
 )
 
 var phaseNames = [NumPhases]string{
-	"queue_wait", "epoch_stage", "commit_climb", "persist", "epoch_fallback", "ack",
+	"queue_wait", "epoch_stage", "commit_climb", "persist", "epoch_fallback", "forward", "ack",
 }
 
 func (p Phase) String() string {
@@ -236,6 +240,7 @@ type Timing struct {
 	CommitClimbUs   int64  `json:"commit_climb_us"`
 	PersistUs       int64  `json:"persist_us"`
 	EpochFallbackUs int64  `json:"epoch_fallback_us"`
+	ForwardUs       int64  `json:"forward_us,omitempty"`
 	AckUs           int64  `json:"ack_us"`
 	TotalUs         int64  `json:"total_us"`
 }
@@ -259,6 +264,7 @@ func (s *Span) Timing() *Timing {
 		CommitClimbUs:   s.phase[CommitClimb].Load() / 1e3,
 		PersistUs:       s.phase[Persist].Load() / 1e3,
 		EpochFallbackUs: s.phase[EpochFallback].Load() / 1e3,
+		ForwardUs:       s.phase[Forward].Load() / 1e3,
 		AckUs:           s.phase[Ack].Load() / 1e3,
 		TotalUs:         total / 1e3,
 	}
