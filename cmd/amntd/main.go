@@ -78,6 +78,7 @@ func main() {
 		level      = flag.Int("level", 3, "AMNT subtree level")
 		queue      = flag.Int("queue", 64, "bounded request queue depth per shard")
 		batch      = flag.Int("batch", 16, "max requests drained per worker wakeup")
+		readWork   = flag.Int("read-workers", 4, "max concurrent verified readers per shard bypassing the write queue (0 = serialize every get through the shard worker)")
 		epochMax   = flag.Int("epoch-max", 0, "max writes per group-commit epoch (0 = batch size, 1 = per-op commits)")
 		epochWait  = flag.Duration("epoch-wait", 0, "how long a worker lingers for more writes before committing a short epoch")
 		ckptDir    = flag.String("checkpoint-dir", "", "checkpoint directory (empty = no checkpoints; cluster kill-drills need a shared one)")
@@ -110,6 +111,7 @@ func main() {
 		Protocol:        *protocol,
 		QueueDepth:      *queue,
 		BatchMax:        *batch,
+		ReadConcurrency: *readWork,
 		EpochMax:        *epochMax,
 		EpochWait:       *epochWait,
 		CheckpointDir:   *ckptDir,

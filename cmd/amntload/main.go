@@ -78,6 +78,7 @@ func main() {
 		retryMax  = flag.Int("retry-max", 4, "503 retries per op before counting it as an overload (0 = never retry)")
 		retryBase = flag.Duration("retry-base", 5*time.Millisecond, "backoff floor for 503 retries when the server sends no retry hint")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON (BENCH_store.json format)")
+		preload   = flag.Bool("preload", false, "PUT every key in -keyspace before the timed run, so read-only workloads measure verified reads instead of first-touch misses")
 
 		clusterOn  = flag.Bool("cluster", false, "route client-side by consistent-hash ring instead of a single -addr")
 		nodesSet   = flag.String("nodes", "", "cluster member list as id=url,id=url — must match the nodes' -cluster-nodes")
@@ -121,6 +122,16 @@ func main() {
 			os.Exit(1)
 		}
 		router = cluster.NewClient(cluster.InitialState(*partitions, *vnodes, members))
+	}
+
+	// Preload: store the whole keyspace before the timed run, so a
+	// read-only workload (ycsb-c) measures verified reads instead of
+	// first-touch zero fills, and every GET is an integrity check.
+	if *preload {
+		if n := preloadKeyspace(*addr, router, *keyspace, *valueLen, *clients); n > 0 {
+			fmt.Fprintf(os.Stderr, "amntload: preload: %d of %d keys failed\n", n, *keyspace)
+			os.Exit(1)
+		}
 	}
 
 	perClient := *ops / *clients
@@ -386,6 +397,7 @@ func (res *clientResult) observeTiming(t *span.Timing) {
 		span.EpochFallback: t.EpochFallbackUs,
 		span.Forward:       t.ForwardUs,
 		span.Ack:           t.AckUs,
+		span.ReadVerify:    t.ReadVerifyUs,
 	} {
 		if us > 0 {
 			res.phaseLat[p].Observe(uint64(us))
@@ -485,6 +497,97 @@ func valueFor(key uint64, n int) []byte {
 		v[i] = byte(key>>uint(i%8)) ^ byte(i)
 	}
 	return v
+}
+
+// preloadKeyspace stores valueFor(k) at every key in [0, keyspace),
+// untimed, returning how many keys could not be stored after retries.
+// Standalone mode loads through POST /v1/batch in 128-key chunks;
+// cluster mode PUTs per key through the router (a chunk would span
+// owners).
+func preloadKeyspace(addr string, router *cluster.Client, keyspace uint64, valueLen, clients int) uint64 {
+	type batchOp struct {
+		Key      uint64 `json:"key"`
+		ValueB64 string `json:"value_b64,omitempty"`
+		Error    string `json:"error,omitempty"`
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	failed := make([]uint64, clients)
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			post := func(base string, puts []batchOp) bool {
+				body, _ := json.Marshal(map[string]any{"puts": puts})
+				for try := 0; try < 8; try++ {
+					if try > 0 {
+						time.Sleep(time.Duration(try) * 25 * time.Millisecond)
+					}
+					resp, err := httpc.Post(base+"/v1/batch", "application/json", bytes.NewReader(body))
+					if err != nil {
+						continue
+					}
+					rb, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						continue
+					}
+					var out struct {
+						Puts []batchOp `json:"puts"`
+					}
+					if json.Unmarshal(rb, &out) != nil {
+						continue
+					}
+					retryable := false
+					for _, p := range out.Puts {
+						if p.Error != "" {
+							retryable = true
+						}
+					}
+					if retryable {
+						continue
+					}
+					return true
+				}
+				return false
+			}
+			const chunk = 128
+			puts := make([]batchOp, 0, chunk)
+			flush := func() {
+				if len(puts) > 0 && !post(addr, puts) {
+					failed[g] += uint64(len(puts))
+				}
+				puts = puts[:0]
+			}
+			for k := uint64(g); k < keyspace; k += uint64(clients) {
+				op := batchOp{Key: k, ValueB64: base64.StdEncoding.EncodeToString(valueFor(k, valueLen))}
+				if router == nil {
+					puts = append(puts, op)
+					if len(puts) == chunk {
+						flush()
+					}
+					continue
+				}
+				base := addr
+				if _, b, err := router.Route(k); err == nil {
+					base = b
+				}
+				if !post(base, []batchOp{op}) {
+					failed[g]++
+				}
+			}
+			flush()
+		}(g)
+	}
+	wg.Wait()
+	var n uint64
+	for _, f := range failed {
+		n += f
+	}
+	return n
 }
 
 func runClient(addr string, router *cluster.Client, trace *workload.Trace, keyspace uint64, valueLen int, batch int, rp *retryPolicy) clientResult {

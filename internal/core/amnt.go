@@ -198,6 +198,12 @@ func (a *AMNT) OnTreeUpdate(_ uint64, level int, idx uint64, content []byte) uin
 // of §7.3's argument against indirection.
 func (*AMNT) OnDataRead(uint64, uint64) uint64 { return 0 }
 
+// ConcurrentReadSafe opts AMNT into mee's concurrent read view: the
+// read-path hooks are pure (OnDataRead is the free address compare
+// above; AnchorContent reads the register, mutated only under the
+// controller's writer lock).
+func (*AMNT) ConcurrentReadSafe() bool { return true }
+
 // OnMetaFill implements mee.Policy (no bookkeeping on fills — AMNT's
 // area budget has no room for shadow structures).
 func (*AMNT) OnMetaFill(uint64, mee.MetaKey) uint64 { return 0 }

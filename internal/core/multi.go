@@ -160,6 +160,10 @@ func (m *Multi) OnTreeUpdate(_ uint64, level int, idx uint64, content []byte) ui
 // OnDataRead implements mee.Policy.
 func (*Multi) OnDataRead(uint64, uint64) uint64 { return 0 }
 
+// ConcurrentReadSafe opts Multi into mee's concurrent read view (same
+// argument as AMNT: pure read hooks).
+func (*Multi) ConcurrentReadSafe() bool { return true }
+
 // OnMetaFill implements mee.Policy.
 func (*Multi) OnMetaFill(uint64, mee.MetaKey) uint64 { return 0 }
 

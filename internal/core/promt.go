@@ -55,6 +55,11 @@ func (p *Indirect) OnDataRead(now uint64, dataBlock uint64) uint64 {
 	return p.lookup(now, dataBlock)
 }
 
+// ConcurrentReadSafe shadows AMNT's opt-in: Indirect's reads charge a
+// shadow-table fetch through the metadata cache (lookup above), which
+// the untimed concurrent view cannot replay. Reads stay serialized.
+func (*Indirect) ConcurrentReadSafe() bool { return false }
+
 // OnDataWrite implements mee.Policy: the lookup plus AMNT's tracking.
 func (p *Indirect) OnDataWrite(now uint64, dataBlock uint64) uint64 {
 	cycles := p.lookup(now, dataBlock)

@@ -128,6 +128,11 @@ func (p *Policy) OnDataRead(now uint64, dataBlock uint64) uint64 {
 	return p.inner.OnDataRead(now, dataBlock)
 }
 
+// ConcurrentReadSafe delegates to the inner AMNT: the partition check
+// and register reads are pure, so the hybrid inherits its opt-in to
+// mee's concurrent read view.
+func (p *Policy) ConcurrentReadSafe() bool { return p.inner.ConcurrentReadSafe() }
+
 // OnMetaFill implements mee.Policy.
 func (*Policy) OnMetaFill(uint64, mee.MetaKey) uint64 { return 0 }
 

@@ -22,6 +22,7 @@ package mee
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -271,6 +272,27 @@ type Controller struct {
 	// runs, so an overlapping call from another goroutine panics
 	// (ErrConcurrentUse) instead of racing on controller state.
 	busy atomic.Int32
+	// viewMu and viewSeq implement the concurrent read view (see
+	// readview.go). Every guarded top-level operation holds viewMu
+	// exclusively and bumps viewSeq on entry; ReadBlockConcurrent
+	// snapshots under short TryRLock sections and uses viewSeq to
+	// detect a writer slipping between them. The busy CAS stays the
+	// first action of enter() so an overlapping guarded call still
+	// panics instead of queueing on the mutex.
+	viewMu  sync.RWMutex
+	viewSeq atomic.Uint64
+	// viewOK is whether the attached policy's read-path hooks are
+	// pure (computed once at New; see ConcurrentReadsSupported).
+	viewOK bool
+	// viewHook, when non-nil, runs between the two snapshot sections
+	// of a concurrent read attempt. Test-only: lets a test inject a
+	// writer at the exact window a seq conflict is possible.
+	viewHook func(attempt int)
+	// Concurrent-read accounting. The rest of Stats is non-atomic and
+	// owner-written; these are reader-written, so they live apart.
+	viewReads     atomic.Uint64 // verified reads served off the view
+	viewRetries   atomic.Uint64 // snapshot attempts retried on a seq change
+	viewConflicts atomic.Uint64 // reads abandoned to the serialized path
 	// recoveryWallNs accumulates the host wall-clock time spent inside
 	// Recover. Atomic because the telemetry HTTP server reads it
 	// concurrently; never folded into simulated results.
@@ -293,9 +315,14 @@ func (c *Controller) enter() {
 	if !c.busy.CompareAndSwap(0, 1) {
 		panic(ErrConcurrentUse)
 	}
+	c.viewMu.Lock()
+	c.viewSeq.Add(1)
 }
 
-func (c *Controller) exit() { c.busy.Store(0) }
+func (c *Controller) exit() {
+	c.viewMu.Unlock()
+	c.busy.Store(0)
+}
 
 // New builds a controller over dev with the given policy. The tree
 // geometry is derived from the device capacity; the root register is
@@ -332,6 +359,9 @@ func New(dev *scm.Device, cfg Config, policy Policy) *Controller {
 	c.levelHits = make([]stats.Ratio, c.geo.Levels+1)
 	c.policy = policy
 	policy.Attach(c)
+	if cr, ok := policy.(interface{ ConcurrentReadSafe() bool }); ok {
+		c.viewOK = cr.ConcurrentReadSafe()
+	}
 	return c
 }
 
@@ -688,6 +718,9 @@ func (c *Controller) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 		return float64(len(c.wq.entries))
 	})
 	reg.Histogram(prefix+".wq_occupancy", "write-queue occupancy at admit", c.WriteQueueOccupancy)
+	reg.Counter(prefix+".view_reads", "verified reads served off the concurrent read view", c.viewReads.Load)
+	reg.Counter(prefix+".view_retries", "concurrent-read snapshot attempts retried on a seq change", c.viewRetries.Load)
+	reg.Counter(prefix+".view_conflicts", "concurrent reads abandoned to the serialized path", c.viewConflicts.Load)
 	c.meta.RegisterMetrics(reg, prefix+".meta")
 	for level := 2; level <= c.geo.Levels; level++ {
 		level := level

@@ -107,6 +107,12 @@ func (b *base) OnWriteComplete(uint64, uint64) uint64 { return 0 }
 
 func (b *base) AnchorContent(int, uint64) ([]byte, bool) { return nil, false }
 
+// ConcurrentReadSafe opts the built-in policies into the concurrent
+// read view (see readview.go): their OnDataRead is a no-op and their
+// AnchorContent is a pure read of writer-locked state. A policy whose
+// read hooks mutate state must shadow this with false.
+func (b *base) ConcurrentReadSafe() bool { return true }
+
 func (b *base) Crash() {}
 
 func (b *base) Overhead() Overhead { return Overhead{} }

@@ -145,6 +145,30 @@ func (s *Store) GetBatch(ctx context.Context, keys []uint64) ([][]byte, []error)
 		wg.Add(1)
 		go func(sh *shard, g *shardGet, leg *span.Span) {
 			defer wg.Done()
+			// Reader-pool fast path: serve the whole leg off the read
+			// view, then queue only the blocks it could not serve.
+			if vals, ves, leftover, served := s.serveLegConcurrent(ctx, sh, g.blocks, leg); served {
+				for j, i := range g.idx {
+					values[i], errs[i] = vals[j], ves[j]
+				}
+				if len(leftover) > 0 {
+					blocks := make([]uint64, len(leftover))
+					for k, j := range leftover {
+						blocks[k] = g.blocks[j]
+					}
+					resp, err := s.submit(ctx, sh, request{op: opGetMulti, blocks: blocks, sp: leg, resp: make(chan response, 1)})
+					for k, j := range leftover {
+						i := g.idx[j]
+						if err != nil {
+							errs[i] = err
+							continue
+						}
+						values[i], errs[i] = resp.values[k], resp.errs[k]
+					}
+				}
+				leg.End()
+				return
+			}
 			resp, err := s.submit(ctx, sh, request{op: opGetMulti, blocks: g.blocks, sp: leg, resp: make(chan response, 1)})
 			leg.End()
 			for j, i := range g.idx {

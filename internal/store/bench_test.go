@@ -129,6 +129,73 @@ func BenchmarkStoreThroughputBatched(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreReadThroughput measures pure-read ops/sec (the
+// YCSB-C shape) against the reader-pool width. readers=0 is the
+// serialized baseline — every get takes the shard worker's channel
+// round trip; positive widths serve gets off the concurrent read
+// view on the caller's goroutine. The keyspace is fully preloaded so
+// every get is a verified read, never a first-touch zero fill.
+func BenchmarkStoreReadThroughput(b *testing.B) {
+	for _, readers := range []int{0, 1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+			s, err := Open(Config{
+				Shards:          4,
+				ShardMemBytes:   1 << 20,
+				Protocol:        "leaf",
+				QueueDepth:      256,
+				BatchMax:        32,
+				ReadConcurrency: readers,
+			})
+			if err != nil {
+				b.Fatalf("open: %v", err)
+			}
+			defer func() {
+				if err := s.Close(context.Background()); err != nil {
+					b.Fatalf("close: %v", err)
+				}
+			}()
+			ctx := context.Background()
+			keyspace := uint64(4) * (1 << 12)
+			val := make([]byte, 24)
+			for key := uint64(0); key < keyspace; key++ {
+				binary.LittleEndian.PutUint64(val, key)
+				if err := s.Put(ctx, key, val); err != nil {
+					b.Fatalf("preload %d: %v", key, err)
+				}
+			}
+			var seq atomic.Uint64
+
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					n := seq.Add(1)
+					key := (n * 2654435761) % keyspace
+					var err error
+					for {
+						_, err = s.Get(ctx, key)
+						if !errors.Is(err, ErrOverloaded) {
+							break
+						}
+					}
+					if err != nil {
+						b.Fatalf("get %d: %v", key, err)
+					}
+				}
+			})
+			b.StopTimer()
+			if readers > 0 {
+				var conc uint64
+				for _, ss := range s.Stats().Shards {
+					conc += ss.ConcurrentRds
+				}
+				if conc == 0 {
+					b.Fatal("pool configured but no gets served off it")
+				}
+			}
+		})
+	}
+}
+
 // retryBatch fails the benchmark on a real error and reports whether
 // the batch saw backpressure and should retry.
 func retryBatch(b *testing.B, errs []error) bool {

@@ -38,6 +38,11 @@ type shardMetrics struct {
 	// and writes nacked during a hand-off fence.
 	migrations, fencedNacks atomic.Uint64
 
+	// Reader-pool accounting (written by caller goroutines, not the
+	// worker): gets served off the concurrent read view, snapshot
+	// retries on seq conflicts, and attempts abandoned to the queue.
+	concurrentReads, readRetries, readFallbacks atomic.Uint64
+
 	// Controller snapshot, published by the worker.
 	cycles, dataReads, dataWrites, metaFetches atomic.Uint64
 	postedWrites, stallCycles, mergedWrites    atomic.Uint64
@@ -94,6 +99,9 @@ type ShardSnapshot struct {
 	EpochFallback  uint64  `json:"epoch_fallbacks"`
 	Migrations     uint64  `json:"migrations,omitempty"`
 	FencedNacks    uint64  `json:"fenced_nacks,omitempty"`
+	ConcurrentRds  uint64  `json:"concurrent_reads"`
+	ReadRetries    uint64  `json:"read_retries"`
+	ReadFallbacks  uint64  `json:"read_fallbacks"`
 	ChaosRuns      uint64  `json:"chaos_runs"`
 	RecoveryDone   uint64  `json:"recovery_leaves_done"`
 	RecoveryTotal  uint64  `json:"recovery_leaves_total"`
@@ -163,6 +171,9 @@ func (s *Store) Stats() Snapshot {
 			EpochFallback:  m.epochFallbacks.Load(),
 			Migrations:     m.migrations.Load(),
 			FencedNacks:    m.fencedNacks.Load(),
+			ConcurrentRds:  m.concurrentReads.Load(),
+			ReadRetries:    m.readRetries.Load(),
+			ReadFallbacks:  m.readFallbacks.Load(),
 			ChaosRuns:      m.chaosRuns.Load(),
 			Cycles:         m.cycles.Load(),
 			DataReads:      m.dataReads.Load(),
@@ -253,6 +264,9 @@ func (s *Store) RegisterMetrics(reg *telemetry.Registry) {
 		reg.Gauge(p+".health", "serving state: 0 serving, 1 recovering, 2 quarantined", func() float64 {
 			return float64(sh.health.Load())
 		})
+		reg.Counter(p+".concurrent_reads", "gets served off the concurrent read view", sh.m.concurrentReads.Load)
+		reg.Counter(p+".read_retries", "read-view snapshot retries on seq conflicts", sh.m.readRetries.Load)
+		reg.Counter(p+".read_fallbacks", "read-view attempts abandoned to the queue path", sh.m.readFallbacks.Load)
 	}
 	reg.Counter("store.gets", "get requests served, all shards", func() uint64 {
 		return s.sum(func(m *shardMetrics) *atomic.Uint64 { return &m.gets })
@@ -278,6 +292,15 @@ func (s *Store) RegisterMetrics(reg *telemetry.Registry) {
 	})
 	reg.Counter("store.epoch_fallbacks", "epoch commits degraded to per-op replay", func() uint64 {
 		return s.sum(func(m *shardMetrics) *atomic.Uint64 { return &m.epochFallbacks })
+	})
+	reg.Counter("store.concurrent_reads", "gets served off the concurrent read view, all shards", func() uint64 {
+		return s.sum(func(m *shardMetrics) *atomic.Uint64 { return &m.concurrentReads })
+	})
+	reg.Counter("store.read_retries", "read-view snapshot retries on seq conflicts, all shards", func() uint64 {
+		return s.sum(func(m *shardMetrics) *atomic.Uint64 { return &m.readRetries })
+	})
+	reg.Counter("store.read_fallbacks", "read-view attempts abandoned to the queue path, all shards", func() uint64 {
+		return s.sum(func(m *shardMetrics) *atomic.Uint64 { return &m.readFallbacks })
 	})
 	reg.Gauge("store.recovery_leaves_done", "BMT leaves rebuilt by the latest recoveries, all shards", func() float64 {
 		var n uint64

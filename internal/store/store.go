@@ -174,6 +174,15 @@ type Config struct {
 	// BatchMax is the most requests a worker drains per wakeup.
 	// Default 16.
 	BatchMax int
+	// ReadConcurrency, when positive, serves gets on healthy shards
+	// through a per-shard pool of at most this many concurrent
+	// verified readers (mee.ReadBlockConcurrent on the caller's
+	// goroutine), bypassing the write queue. Recovering, quarantined,
+	// and detached shards, policies without pure read hooks, and
+	// snapshot conflicts all fall back to the serialized queue path,
+	// whose degradation semantics are unchanged. 0 (the default)
+	// serializes every get through the owner goroutine.
+	ReadConcurrency int
 	// EpochMax is the most staged writes one group-commit integrity
 	// epoch holds before the worker commits it. 1 disables group
 	// commit entirely (every put runs the per-op write path); 0
@@ -314,6 +323,11 @@ type shard struct {
 	prog      *bmt.Progress // live recovery rebuild watermark
 	closeErr  error         // final flush/checkpoint error, read after done
 	m         shardMetrics
+
+	// readSem, when non-nil, bounds the concurrent verified readers
+	// serving gets off this shard's read view from caller goroutines
+	// (see readpath.go). Nil = every get goes through the queue.
+	readSem chan struct{}
 
 	// Serving state, read lock-free by submit and samplers; written
 	// only by the worker (and by Open before the worker starts).
@@ -484,6 +498,9 @@ func (s *Store) newShard(part int) (*shard, error) {
 		healBackoffMax: cfg.HealBackoffMax,
 		healMax:        cfg.HealMaxAttempts,
 	}
+	if cfg.ReadConcurrency > 0 && ctrl.ConcurrentReadsSupported() {
+		sh.readSem = make(chan struct{}, cfg.ReadConcurrency)
+	}
 	ctrl.SetRecoveryProgress(sh.prog)
 	if cfg.CheckpointDir != "" {
 		sh.ckpt = filepath.Join(cfg.CheckpointDir, fmt.Sprintf("shard-%03d.ckpt", part))
@@ -624,6 +641,11 @@ func (s *Store) Get(ctx context.Context, key uint64) ([]byte, error) {
 	}
 	if block >= sh.blocks {
 		return nil, ErrOutOfRange
+	}
+	if sh.readEligible() {
+		if v, served, err := s.getConcurrent(ctx, sh, block); served {
+			return v, err
+		}
 	}
 	resp, err := s.submit(ctx, sh, request{op: opGet, block: block, resp: make(chan response, 1)})
 	if err != nil {

@@ -201,6 +201,7 @@ func (r *Recorder) finish(s *Span, err error) {
 				"epoch_fallback_us", t.EpochFallbackUs,
 				"forward_us", t.ForwardUs,
 				"ack_us", t.AckUs,
+				"read_verify_us", t.ReadVerifyUs,
 				"error", s.failed.Load(),
 			)
 		}

@@ -59,12 +59,18 @@ const (
 	Forward
 	// Ack: commit completion until the handler observes the response.
 	Ack
+	// ReadVerify: the optimistic verified read on the concurrent
+	// reader-pool path — snapshot capture, hash/MAC verification, and
+	// decrypt (including any bounded wait for a reader-pool slot).
+	// Zero on queue-served requests; reader-pool requests conversely
+	// report queue_wait 0, since they never enter the write queue.
+	ReadVerify
 	// NumPhases bounds the phase enum.
 	NumPhases
 )
 
 var phaseNames = [NumPhases]string{
-	"queue_wait", "epoch_stage", "commit_climb", "persist", "epoch_fallback", "forward", "ack",
+	"queue_wait", "epoch_stage", "commit_climb", "persist", "epoch_fallback", "forward", "ack", "read_verify",
 }
 
 func (p Phase) String() string {
@@ -242,6 +248,7 @@ type Timing struct {
 	EpochFallbackUs int64  `json:"epoch_fallback_us"`
 	ForwardUs       int64  `json:"forward_us,omitempty"`
 	AckUs           int64  `json:"ack_us"`
+	ReadVerifyUs    int64  `json:"read_verify_us,omitempty"`
 	TotalUs         int64  `json:"total_us"`
 }
 
@@ -266,6 +273,7 @@ func (s *Span) Timing() *Timing {
 		EpochFallbackUs: s.phase[EpochFallback].Load() / 1e3,
 		ForwardUs:       s.phase[Forward].Load() / 1e3,
 		AckUs:           s.phase[Ack].Load() / 1e3,
+		ReadVerifyUs:    s.phase[ReadVerify].Load() / 1e3,
 		TotalUs:         total / 1e3,
 	}
 }
